@@ -1,0 +1,559 @@
+//! Destination analysis — RQ1 (§4, Tables 2–4, Figure 2).
+//!
+//! Labels every flow's destination with a party type (first / support /
+//! third, relative to the device manufacturer), an organization, and a
+//! country (via Passport-style inference), then aggregates unique
+//! destinations across labs, egress configurations, experiment types,
+//! device categories, and organizations.
+
+use crate::flows::ExperimentFlows;
+use iot_geodb::geo::{Country, Region};
+use iot_geodb::party::{classify, PartyType};
+use iot_geodb::registry::GeoDb;
+use iot_geodb::passport;
+use iot_testbed::catalog;
+use iot_testbed::device::{ActivityKind, Availability, Category};
+use iot_testbed::experiment::{ExperimentKind, LabeledExperiment};
+use iot_testbed::lab::LabSite;
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+
+/// Experiment-type groups of Table 2's rows. A single experiment can fall
+/// into several (every controlled experiment is also "Control").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ExpGroup {
+    /// Idle captures.
+    Idle,
+    /// All controlled experiments (power + interactions).
+    Control,
+    /// Power experiments.
+    Power,
+    /// Voice interactions.
+    Voice,
+    /// Video interactions.
+    Video,
+}
+
+impl ExpGroup {
+    /// Table 2 row order.
+    pub fn all() -> &'static [ExpGroup] {
+        &[
+            ExpGroup::Idle,
+            ExpGroup::Control,
+            ExpGroup::Power,
+            ExpGroup::Voice,
+            ExpGroup::Video,
+        ]
+    }
+
+    /// Row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExpGroup::Idle => "Idle",
+            ExpGroup::Control => "Control",
+            ExpGroup::Power => "Power",
+            ExpGroup::Voice => "Voice",
+            ExpGroup::Video => "Video",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            ExpGroup::Idle => 1,
+            ExpGroup::Control => 2,
+            ExpGroup::Power => 4,
+            ExpGroup::Voice => 8,
+            ExpGroup::Video => 16,
+        }
+    }
+}
+
+/// The eight column contexts used throughout the paper's tables:
+/// (lab, VPN?) × (all devices | common devices only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct ColumnCtx {
+    /// Lab site.
+    pub site: LabSite,
+    /// VPN egress in effect.
+    pub vpn: bool,
+    /// Restrict to the 26 common devices.
+    pub common_only: bool,
+}
+
+impl ColumnCtx {
+    /// The standard eight columns, in the paper's order:
+    /// US, UK, US∩, UK∩, VPN US→UK, VPN UK→US, VPN US∩, VPN UK∩.
+    pub fn standard() -> [ColumnCtx; 8] {
+        [
+            ColumnCtx { site: LabSite::Us, vpn: false, common_only: false },
+            ColumnCtx { site: LabSite::Uk, vpn: false, common_only: false },
+            ColumnCtx { site: LabSite::Us, vpn: false, common_only: true },
+            ColumnCtx { site: LabSite::Uk, vpn: false, common_only: true },
+            ColumnCtx { site: LabSite::Us, vpn: true, common_only: false },
+            ColumnCtx { site: LabSite::Uk, vpn: true, common_only: false },
+            ColumnCtx { site: LabSite::Us, vpn: true, common_only: true },
+            ColumnCtx { site: LabSite::Uk, vpn: true, common_only: true },
+        ]
+    }
+
+    /// Column header, e.g. `"US∩"` or `"US→UK"`.
+    pub fn header(&self) -> String {
+        let base = match (self.site, self.vpn) {
+            (LabSite::Us, false) => "US".to_string(),
+            (LabSite::Uk, false) => "UK".to_string(),
+            (LabSite::Us, true) => "US→UK".to_string(),
+            (LabSite::Uk, true) => "UK→US".to_string(),
+        };
+        if self.common_only {
+            format!("{base}∩")
+        } else {
+            base
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ObsKey {
+    site: LabSite,
+    vpn: bool,
+    device: &'static str,
+    dest_key: String,
+}
+
+#[derive(Debug, Clone)]
+struct ObsVal {
+    party: PartyType,
+    org_name: Option<&'static str>,
+    country: Option<Country>,
+    /// Party-granularity key: the full host name when known, otherwise the
+    /// owning organization (so a camera's dozens of P2P relay IPs count as
+    /// one contacted party, matching Table 2's accounting).
+    party_key: String,
+    bytes: u64,
+    groups: u8,
+}
+
+/// Accumulates destination observations across experiments.
+pub struct DestinationAnalysis {
+    db: GeoDb,
+    observations: HashMap<ObsKey, ObsVal>,
+}
+
+impl Default for DestinationAnalysis {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DestinationAnalysis {
+    /// Creates an empty analysis.
+    pub fn new() -> Self {
+        DestinationAnalysis {
+            db: GeoDb::new(),
+            observations: HashMap::new(),
+        }
+    }
+
+    /// The registry in use.
+    pub fn db(&self) -> &GeoDb {
+        &self.db
+    }
+
+    /// Groups an experiment falls into.
+    fn groups_of(exp: &LabeledExperiment) -> u8 {
+        let mut bits = 0u8;
+        match exp.kind {
+            ExperimentKind::Idle => bits |= ExpGroup::Idle.bit(),
+            ExperimentKind::Power => {
+                bits |= ExpGroup::Control.bit() | ExpGroup::Power.bit();
+            }
+            ExperimentKind::Interaction => {
+                bits |= ExpGroup::Control.bit();
+                if let Some(activity) = exp.activity {
+                    if let Some(spec) = catalog::by_name(exp.device_name) {
+                        match spec.activity(activity).map(|a| a.kind) {
+                            Some(ActivityKind::Voice) => bits |= ExpGroup::Voice.bit(),
+                            Some(ActivityKind::Video) => bits |= ExpGroup::Video.bit(),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            ExperimentKind::Uncontrolled => {}
+        }
+        bits
+    }
+
+    /// Ingests one experiment's flows.
+    pub fn add_experiment(&mut self, exp: &LabeledExperiment) {
+        let flows = ExperimentFlows::from_experiment(exp);
+        self.add_flows(exp, &flows);
+    }
+
+    /// Ingests pre-extracted flows (lets callers share the extraction with
+    /// other analyses).
+    pub fn add_flows(&mut self, exp: &LabeledExperiment, flows: &ExperimentFlows) {
+        let spec = match catalog::by_name(exp.device_name) {
+            Some(s) => s,
+            None => return,
+        };
+        let egress = exp.site.egress(exp.vpn);
+        let groups = Self::groups_of(exp);
+        for lf in flows.internet_flows() {
+            let remote = lf.remote_ip();
+            // §4.1 party labeling: domain-based first, IP-owner fallback.
+            let (org, role) = match lf.domain.as_deref().and_then(|d| self.db.org_for_domain(d)) {
+                Some((org, role)) => (Some(org), Some(role)),
+                None => (self.db.whois_ip(remote).map(|(o, _, _)| o), None),
+            };
+            let party = match org {
+                Some(org) => classify(org, role, spec.manufacturer_org),
+                None => PartyType::Third, // unknown owner: worst case
+            };
+            let country = passport::infer_country(&self.db, remote, egress);
+            let dest_key = lf
+                .domain
+                .clone()
+                .unwrap_or_else(|| format!("ip:{remote}"));
+            let party_key = lf
+                .domain
+                .clone()
+                .or_else(|| org.map(|o| format!("org:{}", o.name)))
+                .unwrap_or_else(|| format!("ip:{remote}"));
+            let entry = self
+                .observations
+                .entry(ObsKey {
+                    site: exp.site,
+                    vpn: exp.vpn,
+                    device: exp.device_name,
+                    dest_key,
+                })
+                .or_insert(ObsVal {
+                    party,
+                    org_name: org.map(|o| o.name),
+                    country,
+                    party_key,
+                    bytes: 0,
+                    groups: 0,
+                });
+            entry.bytes += lf.flow.total_bytes();
+            entry.groups |= groups;
+        }
+    }
+
+    fn in_ctx(&self, key: &ObsKey, ctx: ColumnCtx) -> bool {
+        if key.site != ctx.site || key.vpn != ctx.vpn {
+            return false;
+        }
+        if ctx.common_only {
+            catalog::by_name(key.device)
+                .map(|s| s.availability == Availability::Both)
+                .unwrap_or(false)
+        } else {
+            true
+        }
+    }
+
+    /// Table 2 cell: unique non-first destinations of `party` contacted
+    /// during experiments of `group`, in context `ctx`.
+    pub fn unique_destinations(&self, ctx: ColumnCtx, group: ExpGroup, party: PartyType) -> usize {
+        let mut dests = HashSet::new();
+        for (key, val) in &self.observations {
+            if self.in_ctx(key, ctx) && val.party == party && val.groups & group.bit() != 0 {
+                dests.insert(&val.party_key);
+            }
+        }
+        dests.len()
+    }
+
+    /// Total-row variant: unique destinations of `party` across all groups.
+    pub fn unique_destinations_total(&self, ctx: ColumnCtx, party: PartyType) -> usize {
+        let mut dests = HashSet::new();
+        for (key, val) in &self.observations {
+            if self.in_ctx(key, ctx) && val.party == party {
+                dests.insert(&val.party_key);
+            }
+        }
+        dests.len()
+    }
+
+    /// Table 3 cell: unique destinations of `party` contacted by devices of
+    /// `category` in context `ctx`.
+    pub fn unique_destinations_by_category(
+        &self,
+        ctx: ColumnCtx,
+        category: Category,
+        party: PartyType,
+    ) -> usize {
+        let mut dests = HashSet::new();
+        for (key, val) in &self.observations {
+            if self.in_ctx(key, ctx)
+                && val.party == party
+                && catalog::by_name(key.device).map(|s| s.category) == Some(category)
+            {
+                dests.insert(&val.party_key);
+            }
+        }
+        dests.len()
+    }
+
+    /// Table 4: organizations ranked by the number of devices contacting
+    /// them as a non-first party, per context.
+    pub fn org_device_counts(&self, ctx: ColumnCtx) -> Vec<(&'static str, usize)> {
+        let mut per_org: HashMap<&'static str, HashSet<&'static str>> = HashMap::new();
+        for (key, val) in &self.observations {
+            if self.in_ctx(key, ctx) && val.party.is_non_first() {
+                if let Some(org) = val.org_name {
+                    // Ubiquitous time-sync infrastructure is not an
+                    // information-exposure party; the paper's Table 4 does
+                    // not list NTP pool operators.
+                    if org == "NTP Pool" {
+                        continue;
+                    }
+                    per_org.entry(org).or_default().insert(key.device);
+                }
+            }
+        }
+        let mut out: Vec<(&'static str, usize)> =
+            per_org.into_iter().map(|(o, devs)| (o, devs.len())).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        out
+    }
+
+    /// §4.2: per-device unique destination counts, descending.
+    pub fn device_destination_counts(&self, ctx: ColumnCtx) -> Vec<(&'static str, usize)> {
+        let mut per_device: HashMap<&'static str, usize> = HashMap::new();
+        for key in self.observations.keys() {
+            if self.in_ctx(key, ctx) {
+                *per_device.entry(key.device).or_default() += 1;
+            }
+        }
+        let mut out: Vec<_> = per_device.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        out
+    }
+
+    /// Figure 2: traffic volume per (category, destination country) for one
+    /// lab at native egress.
+    pub fn region_flows(&self, site: LabSite) -> Vec<(Category, Country, u64)> {
+        let mut agg: HashMap<(Category, Country), u64> = HashMap::new();
+        for (key, val) in &self.observations {
+            if key.site != site || key.vpn {
+                continue;
+            }
+            let category = match catalog::by_name(key.device) {
+                Some(s) => s.category,
+                None => continue,
+            };
+            let country = val.country.unwrap_or(Country::Other);
+            *agg.entry((category, country)).or_default() += val.bytes;
+        }
+        let mut out: Vec<_> = agg.into_iter().map(|((c, n), b)| (c, n, b)).collect();
+        out.sort_by(|a, b| b.2.cmp(&a.2));
+        out
+    }
+
+    /// §9 headline: fraction of unique destinations that are non-first
+    /// parties, for one lab at native egress.
+    pub fn non_first_party_fraction(&self, site: LabSite) -> f64 {
+        let mut total = HashSet::new();
+        let mut non_first = HashSet::new();
+        for (key, val) in &self.observations {
+            if key.site != site || key.vpn {
+                continue;
+            }
+            total.insert(&val.party_key);
+            if val.party.is_non_first() {
+                non_first.insert(&val.party_key);
+            }
+        }
+        if total.is_empty() {
+            0.0
+        } else {
+            non_first.len() as f64 / total.len() as f64
+        }
+    }
+
+    /// §9 headline: fraction of devices contacting at least one destination
+    /// outside the lab's region, at native egress.
+    pub fn out_of_region_device_fraction(&self, site: LabSite) -> f64 {
+        let home: Region = site.native_egress();
+        let mut devices: HashMap<&'static str, bool> = HashMap::new();
+        for (key, val) in &self.observations {
+            if key.site != site || key.vpn {
+                continue;
+            }
+            let outside = val
+                .country
+                .map(|c| c.region() != home || (site == LabSite::Uk && c != Country::UnitedKingdom))
+                .unwrap_or(false);
+            let e = devices.entry(key.device).or_insert(false);
+            *e = *e || outside;
+        }
+        if devices.is_empty() {
+            0.0
+        } else {
+            devices.values().filter(|&&v| v).count() as f64 / devices.len() as f64
+        }
+    }
+
+    /// Devices with at least one non-first-party destination (the paper's
+    /// "72/81 devices"), across both labs at native egress.
+    pub fn devices_with_non_first_party(&self) -> (usize, usize) {
+        let mut devices: HashMap<(&'static str, LabSite), bool> = HashMap::new();
+        for (key, val) in &self.observations {
+            if key.vpn {
+                continue;
+            }
+            let e = devices.entry((key.device, key.site)).or_insert(false);
+            *e = *e || val.party.is_non_first();
+        }
+        let with = devices.values().filter(|&&v| v).count();
+        (with, devices.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iot_testbed::experiment::{run_interaction, run_power};
+    use iot_testbed::lab::Lab;
+
+    /// A small corpus: power + one interaction for a handful of devices in
+    /// both labs, with and without VPN.
+    fn small_corpus() -> DestinationAnalysis {
+        let db = GeoDb::new();
+        let mut analysis = DestinationAnalysis::new();
+        for site in LabSite::all() {
+            let lab = Lab::deploy(site);
+            for name in [
+                "Samsung TV",
+                "Fire TV",
+                "Roku TV",
+                "Echo Dot",
+                "Google Home Mini",
+                "TP-Link Plug",
+                "Magichome Strip",
+                "Wansview Cam",
+                "Ring Doorbell",
+                "Yi Cam",
+                "Sengled Hub",
+                "Smartthings Hub",
+                "Anova Sousvide",
+                "Netatmo Weather",
+            ] {
+                if let Some(dev) = lab.device(name) {
+                    for vpn in [false, true] {
+                        analysis.add_experiment(&run_power(&db, dev, vpn, 0, 0));
+                        let spec = dev.spec();
+                        let act = &spec.activities[0];
+                        let method = act.methods[0];
+                        for rep in 0..3 {
+                            analysis.add_experiment(&run_interaction(
+                                &db, dev, act, method, vpn, rep, 0,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        analysis
+    }
+
+    #[test]
+    fn tvs_contact_third_parties() {
+        let analysis = small_corpus();
+        let us = ColumnCtx { site: LabSite::Us, vpn: false, common_only: false };
+        let third = analysis.unique_destinations_by_category(us, Category::Tv, PartyType::Third);
+        assert!(third >= 1, "TVs contact Netflix/trackers, got {third}");
+    }
+
+    #[test]
+    fn support_parties_dominate() {
+        let analysis = small_corpus();
+        let us = ColumnCtx { site: LabSite::Us, vpn: false, common_only: false };
+        let support = analysis.unique_destinations_total(us, PartyType::Support);
+        let third = analysis.unique_destinations_total(us, PartyType::Third);
+        assert!(
+            support > third,
+            "support ({support}) should outnumber third ({third}) as in Table 2"
+        );
+    }
+
+    #[test]
+    fn power_contacts_more_destinations_than_voice() {
+        let analysis = small_corpus();
+        let us = ColumnCtx { site: LabSite::Us, vpn: false, common_only: false };
+        let power = analysis.unique_destinations(us, ExpGroup::Power, PartyType::Support);
+        let voice = analysis.unique_destinations(us, ExpGroup::Voice, PartyType::Support);
+        assert!(power >= voice, "power {power} vs voice {voice}");
+    }
+
+    #[test]
+    fn amazon_tops_org_rollup() {
+        let analysis = small_corpus();
+        let us = ColumnCtx { site: LabSite::Us, vpn: false, common_only: false };
+        let orgs = analysis.org_device_counts(us);
+        assert!(!orgs.is_empty());
+        let top3: Vec<&str> = orgs.iter().take(3).map(|(o, _)| *o).collect();
+        assert!(top3.contains(&"Amazon"), "top orgs {top3:?}");
+    }
+
+    #[test]
+    fn wansview_contacts_most_destinations() {
+        let analysis = small_corpus();
+        let us = ColumnCtx { site: LabSite::Us, vpn: false, common_only: false };
+        let counts = analysis.device_destination_counts(us);
+        assert_eq!(counts[0].0, "Wansview Cam", "{counts:?}");
+    }
+
+    #[test]
+    fn us_traffic_terminates_mostly_in_us() {
+        let analysis = small_corpus();
+        let flows = analysis.region_flows(LabSite::Us);
+        let us_bytes: u64 = flows
+            .iter()
+            .filter(|(_, c, _)| *c == Country::UnitedStates)
+            .map(|(_, _, b)| b)
+            .sum();
+        let total: u64 = flows.iter().map(|(_, _, b)| b).sum();
+        assert!(
+            us_bytes * 2 > total,
+            "majority of US-lab bytes should stay in the US ({us_bytes}/{total})"
+        );
+    }
+
+    #[test]
+    fn uk_lab_also_sends_mostly_to_non_uk() {
+        // Figure 2: "Most traffic terminates in the US, even for the UK
+        // lab" — at minimum, plenty of UK-lab traffic leaves the UK.
+        let analysis = small_corpus();
+        let flows = analysis.region_flows(LabSite::Uk);
+        let uk_bytes: u64 = flows
+            .iter()
+            .filter(|(_, c, _)| *c == Country::UnitedKingdom)
+            .map(|(_, _, b)| b)
+            .sum();
+        let total: u64 = flows.iter().map(|(_, _, b)| b).sum();
+        assert!(uk_bytes * 2 < total, "UK-lab traffic leaves the UK ({uk_bytes}/{total})");
+    }
+
+    #[test]
+    fn most_devices_have_non_first_party() {
+        // §9: 72/81 devices contact a non-first party — most, but not all
+        // (platform vendors' own devices can stay in-house).
+        let analysis = small_corpus();
+        let (with, total) = analysis.devices_with_non_first_party();
+        assert!(with * 10 >= total * 7, "{with}/{total}");
+        assert!(with < total, "some devices must be first-party-only");
+    }
+
+    #[test]
+    fn column_headers() {
+        let headers: Vec<String> = ColumnCtx::standard().iter().map(|c| c.header()).collect();
+        assert_eq!(
+            headers,
+            vec!["US", "UK", "US∩", "UK∩", "US→UK", "UK→US", "US→UK∩", "UK→US∩"]
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! Plaintext PII detection — RQ3 (§6.1, §6.2).
+//!
+//! "To identify PII exposed in plaintext, we simply search for any PII
+//! known (in various encodings) in each device's network traffic."
+//!
+//! The scanner searches every flow's payload for the device's known
+//! identifiers (MAC address in colon / hyphen / bare-hex forms, device id,
+//! device name, coarse location) in plain, hex, and base64 encodings, and
+//! reports each hit with the destination's party classification — the
+//! privacy-relevant part being leaks to non-first parties (§2.1).
+
+use crate::flows::ExperimentFlows;
+use iot_geodb::party::{classify, PartyType};
+use iot_geodb::registry::GeoDb;
+use iot_protocols::http::find_subsequence;
+use iot_testbed::catalog;
+use iot_testbed::device::{PiiKind, PiiLeak};
+use iot_testbed::experiment::LabeledExperiment;
+use iot_testbed::lab::LabSite;
+use iot_testbed::traffic::DeviceIdentity;
+use iot_testbed::util::{base64_encode, hex_encode};
+use serde::Serialize;
+
+/// One PII exposure finding.
+#[derive(Debug, Clone, Serialize)]
+pub struct PiiFinding {
+    /// Device whose identifier leaked.
+    pub device_name: String,
+    /// Deployment site.
+    pub site: LabSite,
+    /// VPN in effect.
+    pub vpn: bool,
+    /// What kind of identifier was found.
+    pub kind: PiiFindingKind,
+    /// Encoding the identifier appeared in.
+    pub encoding: &'static str,
+    /// Destination domain, when labeled.
+    pub domain: Option<String>,
+    /// Destination organization, when known.
+    pub org: Option<&'static str>,
+    /// Destination party type relative to the device.
+    pub party: Option<PartyType>,
+    /// Experiment label the leak occurred in.
+    pub experiment_label: String,
+}
+
+/// Identifier families the scanner knows (§6.2's findings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum PiiFindingKind {
+    /// Device MAC address.
+    MacAddress,
+    /// Stable device identifier.
+    DeviceId,
+    /// Coarse geolocation.
+    Geolocation,
+    /// User-assigned device name.
+    DeviceName,
+}
+
+impl From<PiiKind> for PiiFindingKind {
+    fn from(k: PiiKind) -> Self {
+        match k {
+            PiiKind::MacAddress => PiiFindingKind::MacAddress,
+            PiiKind::DeviceId => PiiFindingKind::DeviceId,
+            PiiKind::Geolocation => PiiFindingKind::Geolocation,
+            PiiKind::DeviceName => PiiFindingKind::DeviceName,
+        }
+    }
+}
+
+/// The search patterns for one device: every identifier in every encoding.
+#[derive(Debug, Clone)]
+pub struct PiiPatterns {
+    patterns: Vec<(PiiFindingKind, &'static str, Vec<u8>)>,
+}
+
+impl PiiPatterns {
+    /// Builds the pattern set from a device identity.
+    pub fn for_identity(identity: &DeviceIdentity) -> Self {
+        let mut patterns: Vec<(PiiFindingKind, &'static str, Vec<u8>)> = Vec::new();
+        // MAC in its textual wire forms…
+        patterns.push((
+            PiiFindingKind::MacAddress,
+            "plain",
+            identity.mac.to_string().into_bytes(),
+        ));
+        patterns.push((
+            PiiFindingKind::MacAddress,
+            "plain",
+            identity.mac.to_hyphen_string().into_bytes(),
+        ));
+        patterns.push((
+            PiiFindingKind::MacAddress,
+            "hex",
+            identity.mac.to_bare_string().into_bytes(),
+        ));
+        // …and base64 of the canonical form.
+        patterns.push((
+            PiiFindingKind::MacAddress,
+            "base64",
+            base64_encode(identity.mac.to_string().as_bytes()).into_bytes(),
+        ));
+        for (kind, value) in [
+            (PiiFindingKind::DeviceId, identity.device_id.as_str()),
+            (PiiFindingKind::Geolocation, identity.location.as_str()),
+            (PiiFindingKind::DeviceName, identity.device_name.as_str()),
+        ] {
+            patterns.push((kind, "plain", value.as_bytes().to_vec()));
+            patterns.push((kind, "hex", hex_encode(value.as_bytes()).into_bytes()));
+            patterns.push((kind, "base64", base64_encode(value.as_bytes()).into_bytes()));
+        }
+        PiiPatterns { patterns }
+    }
+
+    /// Searches a payload for any pattern; returns (kind, encoding) hits.
+    pub fn search(&self, payload: &[u8]) -> Vec<(PiiFindingKind, &'static str)> {
+        let mut hits = Vec::new();
+        for (kind, encoding, pattern) in &self.patterns {
+            if find_subsequence(payload, pattern).is_some() {
+                hits.push((*kind, *encoding));
+            }
+        }
+        hits.sort();
+        hits.dedup();
+        hits
+    }
+}
+
+/// Scans one experiment's flows for PII exposure.
+pub fn scan_experiment(
+    db: &GeoDb,
+    exp: &LabeledExperiment,
+    flows: &ExperimentFlows,
+    identity: &DeviceIdentity,
+) -> Vec<PiiFinding> {
+    let patterns = PiiPatterns::for_identity(identity);
+    let spec = match catalog::by_name(exp.device_name) {
+        Some(s) => s,
+        None => return Vec::new(),
+    };
+    let mut findings = Vec::new();
+    for lf in flows.internet_flows() {
+        let mut hits = patterns.search(&lf.flow.payload_out);
+        hits.extend(patterns.search(&lf.flow.payload_in));
+        hits.sort();
+        hits.dedup();
+        if hits.is_empty() {
+            continue;
+        }
+        let (org, role) = match lf.domain.as_deref().and_then(|d| db.org_for_domain(d)) {
+            Some((o, r)) => (Some(o), Some(r)),
+            None => (db.whois_ip(lf.remote_ip()).map(|(o, _, _)| o), None),
+        };
+        let party = org.map(|o| classify(o, role, spec.manufacturer_org));
+        for (kind, encoding) in hits {
+            findings.push(PiiFinding {
+                device_name: exp.device_name.to_string(),
+                site: exp.site,
+                vpn: exp.vpn,
+                kind,
+                encoding,
+                domain: lf.domain.clone(),
+                org: org.map(|o| o.name),
+                party,
+                experiment_label: exp.label.clone(),
+            });
+        }
+    }
+    findings
+}
+
+/// Expected leaks for a device at a site (ground truth from the catalog),
+/// used to validate scanner completeness.
+pub fn expected_leaks(device: &str, site: LabSite) -> Vec<&'static PiiLeak> {
+    catalog::by_name(device)
+        .map(|spec| {
+            spec.pii_leaks
+                .iter()
+                .filter(|l| l.site_filter.map_or(true, |s| s == site))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iot_testbed::experiment::{run_interaction, run_power};
+    use iot_testbed::lab::Lab;
+    use iot_testbed::traffic::identity_of;
+
+    fn scan_power(device: &str, site: LabSite) -> Vec<PiiFinding> {
+        let db = GeoDb::new();
+        let lab = Lab::deploy(site);
+        let dev = lab.device(device).unwrap();
+        let exp = run_power(&db, dev, false, 0, 0);
+        let flows = ExperimentFlows::from_experiment(&exp);
+        scan_experiment(&db, &exp, &flows, &identity_of(dev))
+    }
+
+    #[test]
+    fn fridge_mac_leak_found_and_attributed() {
+        let findings = scan_power("Samsung Fridge", LabSite::Us);
+        let mac_hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.kind == PiiFindingKind::MacAddress)
+            .collect();
+        assert!(!mac_hits.is_empty(), "fridge leaks MAC on power");
+        let hit = &mac_hits[0];
+        assert_eq!(hit.org, Some("Amazon"), "leak goes to an EC2 domain");
+        assert_eq!(hit.party, Some(PartyType::Support));
+    }
+
+    #[test]
+    fn magichome_mac_leak_found_in_both_labs() {
+        for site in LabSite::all() {
+            let findings = scan_power("Magichome Strip", site);
+            assert!(
+                findings.iter().any(|f| f.kind == PiiFindingKind::MacAddress),
+                "{site:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn insteon_leak_only_in_uk() {
+        assert!(
+            !scan_power("Insteon Hub", LabSite::Us)
+                .iter()
+                .any(|f| f.kind == PiiFindingKind::MacAddress),
+            "US Insteon must not leak"
+        );
+        assert!(
+            scan_power("Insteon Hub", LabSite::Uk)
+                .iter()
+                .any(|f| f.kind == PiiFindingKind::MacAddress),
+            "UK Insteon leaks MAC"
+        );
+    }
+
+    #[test]
+    fn xiaomi_camera_motion_leak() {
+        let db = GeoDb::new();
+        let lab = Lab::deploy(LabSite::Uk);
+        let dev = lab.device("Xiaomi Cam").unwrap();
+        let spec = dev.spec();
+        let act = spec.activity("move").unwrap();
+        let exp = run_interaction(&db, dev, act, act.methods[0], false, 0, 0);
+        let flows = ExperimentFlows::from_experiment(&exp);
+        let findings = scan_experiment(&db, &exp, &flows, &identity_of(dev));
+        assert!(
+            findings.iter().any(|f| f.kind == PiiFindingKind::MacAddress),
+            "Xiaomi Cam sends MAC on motion"
+        );
+    }
+
+    #[test]
+    fn encrypted_devices_do_not_leak() {
+        let findings = scan_power("Echo Dot", LabSite::Us);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn hex_and_base64_encodings_detected() {
+        let lab = Lab::deploy(LabSite::Us);
+        let dev = lab.device("Sengled Hub").unwrap(); // leaks MAC as hex via MQTT
+        let identity = identity_of(dev);
+        let patterns = PiiPatterns::for_identity(&identity);
+        let payload = format!("noise {} noise", identity.mac.to_bare_string());
+        let hits = patterns.search(payload.as_bytes());
+        assert!(hits.contains(&(PiiFindingKind::MacAddress, "hex")));
+        let b64 = base64_encode(identity.device_id.as_bytes());
+        let hits2 = patterns.search(format!("x{b64}y").as_bytes());
+        assert!(hits2.contains(&(PiiFindingKind::DeviceId, "base64")));
+    }
+
+    #[test]
+    fn expected_leaks_honor_site_filter() {
+        assert!(expected_leaks("Insteon Hub", LabSite::Us).is_empty());
+        assert_eq!(expected_leaks("Insteon Hub", LabSite::Uk).len(), 1);
+        assert_eq!(expected_leaks("Nonexistent", LabSite::Us).len(), 0);
+    }
+
+    /// Scanner completeness: every cataloged leak is detected in the
+    /// experiment matching its trigger.
+    #[test]
+    fn scanner_finds_every_cataloged_power_leak() {
+        let db = GeoDb::new();
+        for site in LabSite::all() {
+            let lab = Lab::deploy(site);
+            for dev in &lab.devices {
+                let power_leaks: Vec<_> = expected_leaks(dev.spec().name, site)
+                    .into_iter()
+                    .filter(|l| matches!(l.trigger, iot_testbed::device::PiiTrigger::OnPower))
+                    .collect();
+                if power_leaks.is_empty() {
+                    continue;
+                }
+                let exp = run_power(&db, dev, false, 0, 0);
+                let flows = ExperimentFlows::from_experiment(&exp);
+                let findings = scan_experiment(&db, &exp, &flows, &identity_of(dev));
+                for leak in power_leaks {
+                    let kind: PiiFindingKind = leak.kind.into();
+                    assert!(
+                        findings.iter().any(|f| f.kind == kind),
+                        "{} at {site:?}: cataloged {kind:?} leak not detected",
+                        dev.spec().name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Single-entry-point pipeline: run a campaign through every analysis and
+//! collect a serializable report — the programmatic equivalent of running
+//! all of `iot-bench`'s binaries at once.
+
+use crate::destinations::{ColumnCtx, DestinationAnalysis};
+use crate::encryption::EncryptionAnalysis;
+use crate::flows::ExperimentFlows;
+use crate::pii::{scan_experiment, PiiFinding};
+use iot_entropy::EncryptionClass;
+use iot_geodb::party::PartyType;
+use iot_geodb::registry::GeoDb;
+use iot_testbed::lab::LabSite;
+use iot_testbed::schedule::{Campaign, CampaignConfig};
+use iot_testbed::traffic::identity_of;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Aggregate report over one campaign run.
+#[derive(Debug, Serialize)]
+pub struct PipelineReport {
+    /// Experiments ingested.
+    pub experiments: u64,
+    /// Unique support-party destinations at native egress, per lab.
+    pub support_destinations: HashMap<String, usize>,
+    /// Unique third-party destinations at native egress, per lab.
+    pub third_destinations: HashMap<String, usize>,
+    /// Devices with at least one non-first-party destination, over total.
+    pub devices_with_non_first: (usize, usize),
+    /// Percent of bytes unencrypted / encrypted / unknown per lab.
+    pub encryption_mix: HashMap<String, [f64; 3]>,
+    /// All plaintext PII findings.
+    pub pii_findings: Vec<PiiFinding>,
+}
+
+/// The pipeline driver. Owns the registry and the accumulated analyses so
+/// callers can also drill into them after [`Pipeline::finish`].
+pub struct Pipeline {
+    db: GeoDb,
+    /// Destination analysis (RQ1).
+    pub destinations: DestinationAnalysis,
+    /// Encryption analysis (RQ2).
+    pub encryption: EncryptionAnalysis,
+    /// PII findings (RQ3).
+    pub pii: Vec<PiiFinding>,
+    experiments: u64,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Pipeline {
+            db: GeoDb::new(),
+            destinations: DestinationAnalysis::new(),
+            encryption: EncryptionAnalysis::default(),
+            pii: Vec::new(),
+            experiments: 0,
+        }
+    }
+
+    /// Runs a full campaign (controlled + idle) through every analysis.
+    pub fn run_campaign(&mut self, config: CampaignConfig) {
+        let campaign = Campaign::new(config);
+        let mut identities = HashMap::new();
+        for lab in campaign.labs() {
+            for d in &lab.devices {
+                identities.insert((d.spec().name, d.site), identity_of(d));
+            }
+        }
+        let mut ingest = |exp: iot_testbed::experiment::LabeledExperiment| {
+            let flows = ExperimentFlows::from_experiment(&exp);
+            self.destinations.add_flows(&exp, &flows);
+            self.encryption.add_flows(&exp, &flows);
+            if let Some(identity) = identities.get(&(exp.device_name, exp.site)) {
+                self.pii.extend(scan_experiment(&self.db, &exp, &flows, identity));
+            }
+            self.experiments += 1;
+        };
+        campaign.run(&self.db, &mut ingest);
+        campaign.run_idle(&self.db, &mut ingest);
+    }
+
+    /// Builds the aggregate report.
+    pub fn finish(self) -> PipelineReport {
+        let mut support_destinations = HashMap::new();
+        let mut third_destinations = HashMap::new();
+        let mut encryption_mix = HashMap::new();
+        for site in LabSite::all() {
+            let ctx = ColumnCtx {
+                site,
+                vpn: false,
+                common_only: false,
+            };
+            support_destinations.insert(
+                site.name().to_string(),
+                self.destinations.unique_destinations_total(ctx, PartyType::Support),
+            );
+            third_destinations.insert(
+                site.name().to_string(),
+                self.destinations.unique_destinations_total(ctx, PartyType::Third),
+            );
+            let mut agg = crate::encryption::ClassBytes::default();
+            for (_, cb) in self.encryption.device_bytes(site, false) {
+                agg.merge(&cb);
+            }
+            encryption_mix.insert(
+                site.name().to_string(),
+                [
+                    agg.percent(EncryptionClass::LikelyUnencrypted),
+                    agg.percent(EncryptionClass::LikelyEncrypted),
+                    agg.percent(EncryptionClass::Unknown),
+                ],
+            );
+        }
+        PipelineReport {
+            experiments: self.experiments,
+            support_destinations,
+            third_destinations,
+            devices_with_non_first: self.destinations.devices_with_non_first_party(),
+            encryption_mix,
+            pii_findings: self.pii,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let mut p = Pipeline::new();
+        p.run_campaign(CampaignConfig {
+            automated_reps: 1,
+            manual_reps: 1,
+            power_reps: 1,
+            idle_hours: 0.05,
+            include_vpn: false,
+        });
+        let report = p.finish();
+        assert!(report.experiments > 300);
+        assert!(report.support_destinations["US"] > report.third_destinations["US"]);
+        assert!(!report.pii_findings.is_empty());
+        let mix = report.encryption_mix["US"];
+        assert!((mix[0] + mix[1] + mix[2] - 100.0).abs() < 1e-6);
+        // Report serializes for downstream tooling.
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("pii_findings"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Regional comparison statistics — RQ6.
+//!
+//! Table 7 marks per-device unencrypted-traffic differences that are
+//! statistically significant across labs (italic) or across VPN egress
+//! (bold). We reproduce the test with Welch's unequal-variance t-test.
+
+use serde::Serialize;
+
+/// Result of a two-sample Welch test.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct WelchResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Whether |t| exceeds the two-sided α=0.05 critical value.
+    pub significant: bool,
+}
+
+fn mean_var(sample: &[f64]) -> (f64, f64) {
+    let n = sample.len() as f64;
+    let mean = sample.iter().sum::<f64>() / n;
+    let var = sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// Two-sided t critical values at α = 0.05 for integer df (1–30), then
+/// the normal approximation.
+fn t_critical(df: f64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df < 1.0 {
+        return TABLE[0];
+    }
+    let idx = df.floor() as usize;
+    if idx <= TABLE.len() {
+        TABLE[idx - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Welch's t-test for unequal variances. Returns `None` when either sample
+/// has fewer than two observations or both variances are zero with equal
+/// means.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<WelchResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, va) = mean_var(a);
+    let (mb, vb) = mean_var(b);
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        // Identical constants: significant iff the means differ.
+        return Some(WelchResult {
+            t: if ma == mb { 0.0 } else { f64::INFINITY },
+            df: na + nb - 2.0,
+            significant: ma != mb,
+        });
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(f64::MIN_POSITIVE);
+    let significant = t.abs() > t_critical(df);
+    Some(WelchResult { t, df, significant })
+}
+
+/// Convenience: are two samples significantly different?
+pub fn significantly_different(a: &[f64], b: &[f64]) -> bool {
+    welch_t_test(a, b).map(|r| r.significant).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_different_samples_significant() {
+        let a = [10.0, 11.0, 9.5, 10.5, 10.2, 9.8];
+        let b = [20.0, 21.0, 19.5, 20.5, 20.2, 19.8];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.significant, "t={}", r.t);
+        assert!(r.t < 0.0, "a < b");
+    }
+
+    #[test]
+    fn identical_distributions_not_significant() {
+        let a = [5.0, 6.0, 5.5, 5.8, 6.2, 5.1, 5.9, 6.1];
+        let b = [5.1, 6.1, 5.4, 5.9, 6.0, 5.2, 5.8, 6.2];
+        assert!(!significantly_different(&a, &b));
+    }
+
+    #[test]
+    fn high_variance_masks_difference() {
+        let a = [0.0, 40.0, 5.0, 35.0];
+        let b = [10.0, 30.0, 15.0, 28.0];
+        assert!(!significantly_different(&a, &b));
+    }
+
+    #[test]
+    fn small_samples_rejected() {
+        assert!(welch_t_test(&[1.0], &[2.0, 3.0]).is_none());
+        assert!(welch_t_test(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn constant_samples() {
+        assert!(significantly_different(&[1.0, 1.0, 1.0], &[2.0, 2.0, 2.0]));
+        assert!(!significantly_different(&[1.0, 1.0, 1.0], &[1.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn critical_values_monotone() {
+        assert!(t_critical(1.0) > t_critical(5.0));
+        assert!(t_critical(5.0) > t_critical(100.0));
+        assert_eq!(t_critical(100.0), 1.96);
+    }
+}

@@ -1,0 +1,123 @@
+//! Table rendering and machine-readable export for the bench binaries.
+
+use serde::Serialize;
+
+/// A simple aligned text table in the style of the paper's tables.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TextTable {
+    /// Table title (e.g. `"Table 2"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must match the header width.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the width differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes to a JSON object (title, headers, rows).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+        })
+    }
+}
+
+/// Formats a float with one decimal, the paper's table convention.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new("Table X", &["Device", "US", "UK"]);
+        t.row(vec!["Echo Dot".into(), "0.7".into(), "2.6".into()]);
+        t.row(vec!["Samsung TV".into(), "7.1".into(), "4.5".into()]);
+        let s = t.render();
+        assert!(s.contains("== Table X =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // All data lines have the same display width.
+        assert_eq!(lines[3].chars().count(), lines[4].chars().count());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = TextTable::new("t", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = TextTable::new("Table Y", &["k", "v"]);
+        t.row(vec!["x".into(), "1".into()]);
+        let j = t.to_json();
+        assert_eq!(j["title"], "Table Y");
+        assert_eq!(j["rows"][0][1], "1");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(7.125), "7.1");
+        assert_eq!(pct(0.0), "0.0");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the analysis layer: classification totality,
+//! feature-vector invariants, and traffic-unit segmentation laws.
+
+use iot_analysis::features::{extract_features, FEATURES_PER_SAMPLE};
+use iot_analysis::unexpected::segment_units;
+use iot_entropy::Thresholds;
+use iot_net::mac::MacAddr;
+use iot_net::packet::{Packet, PacketBuilder};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_packets() -> impl Strategy<Value = Vec<Packet>> {
+    proptest::collection::vec(
+        (
+            0u64..100_000_000,
+            proptest::collection::vec(any::<u8>(), 0..600),
+        ),
+        0..60,
+    )
+    .prop_map(|mut specs| {
+        specs.sort_by_key(|(ts, _)| *ts);
+        let mut b = PacketBuilder::new(
+            MacAddr::new(1, 2, 3, 4, 5, 6),
+            MacAddr::new(6, 5, 4, 3, 2, 1),
+            Ipv4Addr::new(192, 168, 10, 9),
+            Ipv4Addr::new(8, 8, 8, 8),
+        );
+        specs
+            .into_iter()
+            .map(|(ts, payload)| b.udp(ts, 40000, 9999, &payload))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Feature extraction is total, fixed-width, and finite for any
+    /// capture.
+    #[test]
+    fn features_total(packets in arb_packets()) {
+        let f = extract_features(&packets);
+        prop_assert_eq!(f.len(), FEATURES_PER_SAMPLE);
+        prop_assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    /// Features are invariant under uniform time translation (the paper's
+    /// classifier must not depend on wall-clock position).
+    #[test]
+    fn features_time_shift_invariant(packets in arb_packets(), shift in 0u64..1_000_000_000) {
+        let shifted: Vec<Packet> = packets
+            .iter()
+            .map(|p| Packet::new(p.ts_micros + shift, p.data.clone()))
+            .collect();
+        let a = extract_features(&packets);
+        let b = extract_features(&shifted);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Segmentation partitions the capture: every packet lands in exactly
+    /// one unit, units are non-empty and time-ordered, and intra-unit gaps
+    /// never exceed the threshold.
+    #[test]
+    fn segmentation_partitions(packets in arb_packets(), gap_s in 0.1f64..10.0) {
+        let units = segment_units(&packets, gap_s);
+        let total: usize = units.iter().map(|u| u.len()).sum();
+        prop_assert_eq!(total, packets.len());
+        let gap_us = (gap_s * 1e6) as u64;
+        for unit in &units {
+            prop_assert!(!unit.is_empty());
+            for w in unit.windows(2) {
+                prop_assert!(w[1].ts_micros - w[0].ts_micros <= gap_us);
+            }
+        }
+        // Consecutive units are separated by more than the gap.
+        for w in units.windows(2) {
+            let last = w[0].last().unwrap().ts_micros;
+            let first = w[1].first().unwrap().ts_micros;
+            prop_assert!(first - last > gap_us);
+        }
+    }
+
+    /// A larger gap never yields more units.
+    #[test]
+    fn segmentation_monotone_in_gap(packets in arb_packets()) {
+        let small = segment_units(&packets, 0.5).len();
+        let large = segment_units(&packets, 5.0).len();
+        prop_assert!(large <= small);
+    }
+
+    /// Threshold classification is total over arbitrary flow payloads.
+    #[test]
+    fn classify_total(
+        out in proptest::collection::vec(any::<u8>(), 0..2048),
+        inn in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        use iot_net::flow::{Flow, FlowKey, FlowProto};
+        let key = FlowKey {
+            local_ip: Ipv4Addr::new(192, 168, 10, 2),
+            local_port: 40000,
+            remote_ip: Ipv4Addr::new(52, 1, 1, 1),
+            remote_port: 8443,
+            proto: FlowProto::Tcp,
+        };
+        let mut flow = Flow {
+            key,
+            first_ts: 0,
+            last_ts: 1,
+            packets_out: 1,
+            packets_in: 1,
+            bytes_out: out.len() as u64,
+            bytes_in: inn.len() as u64,
+            payload_out: out,
+            payload_in: inn,
+        };
+        // Also exercise the media-exclusion branch with inflated volume.
+        for bulk in [false, true] {
+            if bulk {
+                flow.bytes_out = 1_000_000;
+            }
+            let lf = iot_analysis::flows::LabeledFlow {
+                flow: flow.clone(),
+                protocol: iot_protocols::ProtocolId::Unknown,
+                domain: None,
+                domain_source: iot_analysis::flows::DomainSource::Unlabeled,
+            };
+            let _ = iot_analysis::encryption::classify_flow(&lf, &Thresholds::default());
+        }
+    }
+}

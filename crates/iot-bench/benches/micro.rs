@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks of the substrate hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use iot_entropy::generators;
+use iot_entropy::normalized_entropy;
+use iot_net::mac::MacAddr;
+use iot_net::packet::{PacketBuilder, ParsedPacket};
+use iot_net::pcap;
+use iot_net::tcp::TcpFlags;
+use iot_protocols::analyzer::{identify_flow, Transport};
+use iot_protocols::{dns, tls};
+use std::net::Ipv4Addr;
+
+fn sample_packets(n: usize) -> Vec<iot_net::packet::Packet> {
+    let mut b = PacketBuilder::new(
+        MacAddr::new(1, 2, 3, 4, 5, 6),
+        MacAddr::new(6, 5, 4, 3, 2, 1),
+        Ipv4Addr::new(192, 168, 10, 3),
+        Ipv4Addr::new(52, 1, 2, 3),
+    );
+    let mut rng = generators::rng(7);
+    (0..n)
+        .map(|i| {
+            let payload = generators::ciphertext(&mut rng, 400);
+            b.tcp(
+                i as u64 * 1000,
+                40000,
+                443,
+                i as u32,
+                0,
+                TcpFlags::PSH | TcpFlags::ACK,
+                &payload,
+            )
+        })
+        .collect()
+}
+
+fn bench_packet_parse(c: &mut Criterion) {
+    let packets = sample_packets(1);
+    let bytes = packets[0].data.clone();
+    let mut g = c.benchmark_group("packet");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("parse_full_frame", |b| {
+        b.iter(|| ParsedPacket::parse(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_pcap(c: &mut Criterion) {
+    let packets = sample_packets(200);
+    let bytes = pcap::to_bytes(&packets).unwrap();
+    let mut g = c.benchmark_group("pcap");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("write_200_packets", |b| {
+        b.iter(|| pcap::to_bytes(black_box(&packets)).unwrap())
+    });
+    g.bench_function("read_200_packets", |b| {
+        b.iter(|| pcap::from_bytes(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let mut rng = generators::rng(1);
+    let data = generators::ciphertext(&mut rng, 8192);
+    let mut g = c.benchmark_group("entropy");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("normalized_entropy_8k", |b| {
+        b.iter(|| normalized_entropy(black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_dns(c: &mut Criterion) {
+    let query = dns::Message::query(7, "device-metrics-us.amazon.com");
+    let answer = dns::Message::answer(&query, &[Ipv4Addr::new(52, 1, 1, 1)], 300);
+    let bytes = answer.encode();
+    c.bench_function("dns/encode_answer", |b| b.iter(|| black_box(&answer).encode()));
+    c.bench_function("dns/parse_answer", |b| {
+        b.iter(|| dns::Message::parse(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_tls(c: &mut Criterion) {
+    let hello = tls::ClientHello::new([9u8; 32], "avs-alexa-na.amazon.com");
+    let stream = hello.to_record().encode();
+    c.bench_function("tls/sni_from_stream", |b| {
+        b.iter(|| tls::sni_from_stream(black_box(&stream)).unwrap())
+    });
+}
+
+fn bench_identify(c: &mut Criterion) {
+    let hello = tls::ClientHello::new([9u8; 32], "example.com").to_record().encode();
+    let mut rng = generators::rng(3);
+    let proprietary = generators::media_like(&mut rng, 2048);
+    c.bench_function("identify/tls_flow", |b| {
+        b.iter(|| identify_flow(Transport::Tcp, 443, black_box(&hello), &[]))
+    });
+    c.bench_function("identify/unknown_flow", |b| {
+        b.iter(|| identify_flow(Transport::Tcp, 8300, black_box(&proprietary), &[]))
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let packets = sample_packets(500);
+    c.bench_function("features/extract_500_packets", |b| {
+        b.iter(|| iot_analysis::features::extract_features(black_box(&packets)))
+    });
+}
+
+fn bench_forest(c: &mut Criterion) {
+    use iot_ml::dataset::Dataset;
+    use iot_ml::forest::{RandomForest, RandomForestConfig};
+    use rand::Rng;
+    let mut rng = generators::rng(5);
+    let mut d = Dataset::new((0..4).map(|i| format!("c{i}")).collect());
+    for c_id in 0..4 {
+        for _ in 0..60 {
+            let base = c_id as f64 * 5.0;
+            let row: Vec<f64> = (0..28).map(|_| base + rng.gen_range(-1.0..1.0)).collect();
+            d.push(row, c_id);
+        }
+    }
+    let forest = RandomForest::fit(&d, &RandomForestConfig::default());
+    let probe = d.features[0].clone();
+    c.bench_function("forest/fit_240x28", |b| {
+        b.iter(|| RandomForest::fit(black_box(&d), &RandomForestConfig::default()))
+    });
+    c.bench_function("forest/predict", |b| {
+        b.iter(|| forest.predict(black_box(&probe)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_packet_parse,
+    bench_pcap,
+    bench_entropy,
+    bench_dns,
+    bench_tls,
+    bench_identify,
+    bench_features,
+    bench_forest
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the end-to-end pipeline stages: experiment
+//! generation, flow extraction, and per-experiment analysis.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iot_analysis::destinations::DestinationAnalysis;
+use iot_analysis::encryption::EncryptionAnalysis;
+use iot_analysis::flows::ExperimentFlows;
+use iot_analysis::pii::scan_experiment;
+use iot_geodb::registry::GeoDb;
+use iot_testbed::experiment::{run_idle, run_interaction, run_power};
+use iot_testbed::lab::{Lab, LabSite};
+use iot_testbed::traffic::identity_of;
+
+fn bench_generation(c: &mut Criterion) {
+    let db = GeoDb::new();
+    let lab = Lab::deploy(LabSite::Us);
+    let echo = lab.device("Echo Dot").unwrap();
+    let cam = lab.device("Wansview Cam").unwrap();
+    let act = cam.spec().activity("watch").unwrap();
+    c.bench_function("generate/power_echo_dot", |b| {
+        let mut rep = 0;
+        b.iter(|| {
+            rep += 1;
+            run_power(&db, black_box(echo), false, rep, 0)
+        })
+    });
+    c.bench_function("generate/video_interaction", |b| {
+        let mut rep = 0;
+        b.iter(|| {
+            rep += 1;
+            run_interaction(&db, black_box(cam), act, act.methods[0], false, rep, 0)
+        })
+    });
+    c.bench_function("generate/idle_hour_zmodo", |b| {
+        let zmodo = lab.device("Zmodo Doorbell").unwrap();
+        b.iter(|| run_idle(&db, black_box(zmodo), false, 1.0, 0))
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let db = GeoDb::new();
+    let lab = Lab::deploy(LabSite::Us);
+    let cam = lab.device("Wansview Cam").unwrap();
+    let exp = run_power(&db, cam, false, 0, 0);
+    let flows = ExperimentFlows::from_experiment(&exp);
+    let identity = identity_of(cam);
+    c.bench_function("analyze/flow_extraction", |b| {
+        b.iter(|| ExperimentFlows::from_experiment(black_box(&exp)))
+    });
+    c.bench_function("analyze/destinations_ingest", |b| {
+        b.iter(|| {
+            let mut a = DestinationAnalysis::new();
+            a.add_flows(black_box(&exp), black_box(&flows));
+            a
+        })
+    });
+    c.bench_function("analyze/encryption_ingest", |b| {
+        b.iter(|| {
+            let mut a = EncryptionAnalysis::default();
+            a.add_flows(black_box(&exp), black_box(&flows));
+            a
+        })
+    });
+    c.bench_function("analyze/pii_scan", |b| {
+        b.iter(|| scan_experiment(&db, black_box(&exp), black_box(&flows), &identity))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let db = GeoDb::new();
+    let lab = Lab::deploy(LabSite::Us);
+    let tv = lab.device("Samsung TV").unwrap();
+    c.bench_function("end_to_end/power_capture_and_analyze", |b| {
+        let mut rep = 0;
+        b.iter(|| {
+            rep += 1;
+            let exp = run_power(&db, tv, false, rep, 0);
+            let flows = ExperimentFlows::from_experiment(&exp);
+            let mut dest = DestinationAnalysis::new();
+            dest.add_flows(&exp, &flows);
+            let mut enc = EncryptionAnalysis::default();
+            enc.add_flows(&exp, &flows);
+            (dest, enc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_generation, bench_analysis, bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. entropy thresholds (the paper's 0.4/0.8 vs alternatives),
+//! 2. the 2-second traffic-unit gap of §7.1,
+//! 3. random-forest size,
+//! 4. Passport-style geolocation vs the naive database.
+
+use iot_analysis::inference::build_dataset;
+use iot_analysis::report::TextTable;
+use iot_analysis::unexpected::segment_units;
+use iot_entropy::generators::{self, TextStyle};
+use iot_entropy::{mean_packet_entropy, EncryptionClass, Thresholds};
+use iot_geodb::geo::Region;
+use iot_geodb::passport;
+use iot_geodb::registry::GeoDb;
+use iot_ml::crossval::cross_validate;
+use iot_ml::forest::RandomForestConfig;
+use iot_testbed::experiment::run_idle;
+use iot_testbed::lab::{Lab, LabSite};
+
+/// Misclassification rate of a threshold pair against ground truth, over
+/// realistic *mixed* flows: encrypted traffic is raw or base64-coded
+/// ciphertext; plaintext traffic is telemetry or markup with an admixture
+/// of embedded binary (thumbnails, compressed blobs); media is plaintext
+/// that looks random. The undetermined class is counted separately — the
+/// paper accepts undetermined traffic to keep the error rate down.
+fn threshold_error(t: &Thresholds) -> (f64, f64) {
+    use rand::Rng;
+    let mut wrong = 0usize;
+    let mut undetermined = 0usize;
+    let total = 600usize;
+    let mut judge = |h: f64, truth_encrypted: bool| match (t.classify_value(h), truth_encrypted) {
+        (EncryptionClass::Unknown, _) => undetermined += 1,
+        (EncryptionClass::LikelyEncrypted, false) | (EncryptionClass::LikelyUnencrypted, true) => {
+            wrong += 1
+        }
+        _ => {}
+    };
+    for i in 0..total / 3 {
+        let mut rng = generators::rng(i as u64);
+        // Encrypted: half TLS-like, half fernet-like tokens.
+        let enc = if i % 2 == 0 {
+            generators::ciphertext(&mut rng, 160 * 8)
+        } else {
+            generators::fernet_like(&mut rng, 160 * 8)
+        };
+        judge(mean_packet_entropy(enc.chunks(160)), true);
+        // Plaintext: text with 0–35% embedded binary content.
+        let style = if i % 2 == 0 { TextStyle::Telemetry } else { TextStyle::WebPage };
+        let binary_frac = rng.gen_range(0.0..0.35);
+        let text_len = (160.0 * 8.0 * (1.0 - binary_frac)) as usize;
+        let mut plain = generators::text_like(&mut rng, text_len, style);
+        plain.extend(generators::ciphertext(&mut rng, 160 * 8 - text_len));
+        judge(mean_packet_entropy(plain.chunks(160)), false);
+        // Media: plaintext whose bytes look random (defeats any threshold).
+        let media = generators::media_like(&mut rng, 160 * 8);
+        judge(mean_packet_entropy(media.chunks(160)), false);
+    }
+    (
+        wrong as f64 / total as f64,
+        undetermined as f64 / total as f64,
+    )
+}
+
+fn main() {
+    // 1. Entropy threshold sweep.
+    let mut t1 = TextTable::new(
+        "Ablation 1: entropy thresholds vs generator ground truth",
+        &["low", "high", "error rate", "undetermined rate"],
+    );
+    for (low, high) in [
+        (0.3, 0.9),
+        (0.4, 0.8), // the paper's choice
+        (0.5, 0.7),
+        (0.55, 0.6),
+        (0.2, 0.95),
+    ] {
+        let (err, und) = threshold_error(&Thresholds::new(low, high));
+        t1.row(vec![
+            format!("{low}"),
+            format!("{high}"),
+            format!("{:.3}", err),
+            format!("{:.3}", und),
+        ]);
+    }
+    iot_bench::emit(
+        "ablation_thresholds",
+        &t1,
+        "the paper chose 0.4/0.8 'to reduce false positives/negatives while relegating \
+         remaining cases to an undetermined class' — tighter bands cut undetermined \
+         traffic at the cost of misclassification",
+    );
+
+    // 2. Traffic-unit gap sweep on a real idle capture.
+    let db = GeoDb::new();
+    let lab = Lab::deploy(LabSite::Us);
+    let zmodo = lab.device("Zmodo Doorbell").unwrap();
+    let idle = run_idle(&db, zmodo, false, 4.0, 0);
+    let mut t2 = TextTable::new(
+        "Ablation 2: traffic-unit gap (Zmodo idle, 4h)",
+        &["gap (s)", "units", "mean packets/unit"],
+    );
+    for gap in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let units = segment_units(&idle.packets, gap);
+        let mean = if units.is_empty() {
+            0.0
+        } else {
+            units.iter().map(|u| u.len()).sum::<usize>() as f64 / units.len() as f64
+        };
+        t2.row(vec![
+            format!("{gap}"),
+            units.len().to_string(),
+            format!("{mean:.1}"),
+        ]);
+    }
+    iot_bench::emit(
+        "ablation_unit_gap",
+        &t2,
+        "§7.1: 'a value that is too small provides too little data for classification; a \
+         value that is too large may merge traffic together from multiple activities' — \
+         2 s balances the two",
+    );
+
+    // 3. Forest size sweep on one device's corpus.
+    let mut experiments = Vec::new();
+    let cam = lab.device("Wansview Cam").unwrap();
+    let train_campaign = iot_bench::training_campaign(iot_bench::Scale::Quick);
+    train_campaign.run_device(&db, cam, false, |e| experiments.push(e));
+    let dataset = build_dataset(&experiments);
+    let mut t3 = TextTable::new(
+        "Ablation 3: forest size vs cross-validated F1 (Wansview)",
+        &["trees", "macro F1"],
+    );
+    for n_trees in [1, 5, 10, 30, 60] {
+        let report = cross_validate(
+            &dataset,
+            &RandomForestConfig {
+                n_trees,
+                ..RandomForestConfig::default()
+            },
+            3,
+        );
+        t3.row(vec![n_trees.to_string(), format!("{:.3}", report.macro_f1)]);
+    }
+    iot_bench::emit(
+        "ablation_forest",
+        &t3,
+        "F1 saturates quickly with tree count; the paper's accuracy claims are not \
+         sensitive to forest size",
+    );
+
+    // 4. Passport vs naive geolocation.
+    let hosts = [
+        "api.amazon.com",
+        "s3.amazonaws.com",
+        "clients.google.com",
+        "cache.akamai.net",
+        "api.ksyun.com",
+        "mqtt.aliyun.com",
+        "updates.tplinkcloud.com",
+        "api.netflix.com",
+        "hub.meethue.com",
+        "api.netatmo.net",
+        "api.smarter.am",
+        "cdn.fastly.net",
+    ];
+    let mut t4 = TextTable::new(
+        "Ablation 4: geolocation method accuracy",
+        &["egress", "passport", "naive db"],
+    );
+    for egress in [Region::Americas, Region::Europe] {
+        let targets: Vec<_> = hosts.iter().map(|h| db.resolve(h, egress).unwrap()).collect();
+        let p = passport::accuracy(&db, &targets, egress, passport::infer_country);
+        let n = passport::accuracy(&db, &targets, egress, |db, ip, _| db.naive_country(ip));
+        t4.row(vec![
+            egress.to_string(),
+            format!("{:.2}", p),
+            format!("{:.2}", n),
+        ]);
+    }
+    iot_bench::emit(
+        "ablation_geo",
+        &t4,
+        "§4.1: 'We do not use public geolocation databases alone, which we found to be \
+         highly inaccurate' — the traceroute-informed method recovers replica countries",
+    );
+
+    // 5. Feature-set ablation: size+timing (paper) vs timing-only.
+    let mut t5 = TextTable::new(
+        "Ablation 5: feature families vs F1 (Wansview)",
+        &["features", "macro F1"],
+    );
+    let full = cross_validate(&dataset, &RandomForestConfig::default(), 3);
+    // Timing-only: zero out the 14 size statistics.
+    let mut timing_only = dataset.clone();
+    for row in &mut timing_only.features {
+        for v in row.iter_mut().take(iot_ml::stats::STATS_PER_DISTRIBUTION) {
+            *v = 0.0;
+        }
+    }
+    let timing = cross_validate(&timing_only, &RandomForestConfig::default(), 3);
+    t5.row(vec!["sizes + inter-arrival (paper)".into(), format!("{:.3}", full.macro_f1)]);
+    t5.row(vec!["inter-arrival only".into(), format!("{:.3}", timing.macro_f1)]);
+    iot_bench::emit(
+        "ablation_features",
+        &t5,
+        "the paper uses both packet-size and inter-arrival statistics; dropping sizes \
+         costs accuracy",
+    );
+}

@@ -1,0 +1,88 @@
+//! Table 10: number of devices whose activities in each activity group are
+//! reliably inferrable (per-activity F1 > 0.75).
+
+use iot_analysis::inference::{infer_device, F1_INFERRABLE};
+use iot_analysis::report::TextTable;
+use iot_geodb::registry::GeoDb;
+use iot_testbed::device::ActivityKind;
+use iot_testbed::lab::LabSite;
+use std::collections::HashMap;
+
+fn main() {
+    let scale = iot_bench::scale();
+    let config = iot_bench::inference_config(scale);
+    let campaign = iot_bench::training_campaign(scale);
+    let db = GeoDb::new();
+
+    let kinds = [
+        ActivityKind::Power,
+        ActivityKind::Voice,
+        ActivityKind::Video,
+        ActivityKind::OnOff,
+        ActivityKind::Movement,
+        ActivityKind::Other,
+    ];
+    // (site, vpn, common, kind) → count of devices with that kind inferrable
+    let mut counts: HashMap<(LabSite, bool, bool, ActivityKind), usize> = HashMap::new();
+    let mut denominators: HashMap<ActivityKind, usize> = HashMap::new();
+    for lab in campaign.labs() {
+        for device in &lab.devices {
+            for vpn in [false, true] {
+                eprintln!("  inferring {} @ {:?} vpn={}", device.spec().name, device.site, vpn);
+                let inf = infer_device(&db, &campaign, device, vpn, &config);
+                if !vpn {
+                    for kind in inf.present_activity_kinds() {
+                        *denominators.entry(kind).or_default() += 1;
+                    }
+                }
+                let common = device.spec().availability
+                    == iot_testbed::device::Availability::Both;
+                for kind in inf.inferrable_activity_kinds(F1_INFERRABLE) {
+                    *counts.entry((device.site, vpn, false, kind)).or_default() += 1;
+                    if common {
+                        *counts.entry((device.site, vpn, true, kind)).or_default() += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let contexts: [(LabSite, bool, bool); 8] = [
+        (LabSite::Us, false, false),
+        (LabSite::Uk, false, false),
+        (LabSite::Us, false, true),
+        (LabSite::Uk, false, true),
+        (LabSite::Us, true, false),
+        (LabSite::Uk, true, false),
+        (LabSite::Us, true, true),
+        (LabSite::Uk, true, true),
+    ];
+    let mut table = TextTable::new(
+        "Table 10: inferrable activities (F1 > 0.75) by activity group",
+        &["Activity (#D)", "US", "UK", "US∩", "UK∩", "US→UK", "UK→US", "US→UK∩", "UK→US∩"],
+    );
+    // Denominators counted once per device across both labs (no VPN).
+    for kind in kinds {
+        let mut row = vec![format!(
+            "{} ({})",
+            kind.name(),
+            denominators.get(&kind).copied().unwrap_or(0)
+        )];
+        for &(site, vpn, common) in &contexts {
+            row.push(
+                counts
+                    .get(&(site, vpn, common, kind))
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+            );
+        }
+        table.row(row);
+    }
+    iot_bench::emit(
+        "table10",
+        &table,
+        "power is the most inferrable activity (41 US / 30 UK of 75), then voice (10/6 of \
+         17) and video (11/7 of 19); on/off is hard (9/5 of 45)",
+    );
+}

@@ -1,0 +1,91 @@
+//! Table 11: activity instances detected in idle traffic using only
+//! high-confidence (F1 > 0.9) models.
+
+use iot_analysis::inference::train_device_model;
+use iot_analysis::report::TextTable;
+use iot_analysis::unexpected::{detect_activities, detection_counts};
+use iot_geodb::registry::GeoDb;
+use iot_testbed::experiment::run_idle;
+use iot_testbed::lab::LabSite;
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale = iot_bench::scale();
+    let config = iot_bench::inference_config(scale);
+    let campaign = iot_bench::training_campaign(scale);
+    let idle_hours = match scale {
+        iot_bench::Scale::Quick => 2.0,
+        iot_bench::Scale::Medium => 8.0,
+        iot_bench::Scale::Full => 28.0,
+    };
+    let db = GeoDb::new();
+
+    // (device, activity-label) → [US, UK, US→UK, UK→US] counts
+    let mut rows: BTreeMap<(String, String), [usize; 4]> = BTreeMap::new();
+    let mut gated = 0usize;
+    let mut total_models = 0usize;
+    for lab in campaign.labs() {
+        for device in &lab.devices {
+            for (col, vpn) in [(false, false), (true, true)] {
+                let _ = col;
+                let vpn = vpn; // columns: native and VPN egress
+                let column = match (device.site, vpn) {
+                    (LabSite::Us, false) => 0usize,
+                    (LabSite::Uk, false) => 1,
+                    (LabSite::Us, true) => 2,
+                    (LabSite::Uk, true) => 3,
+                };
+                eprintln!(
+                    "  training {} @ {:?} vpn={}",
+                    device.spec().name,
+                    device.site,
+                    vpn
+                );
+                let model = train_device_model(&db, &campaign, device, vpn, &config);
+                total_models += 1;
+                let idle = run_idle(&db, device, vpn, idle_hours, 0);
+                match detect_activities(&model, &idle.packets) {
+                    None => {
+                        gated += 1;
+                    }
+                    Some(detections) => {
+                        for (label, count) in detection_counts(&detections) {
+                            rows.entry((device.spec().name.to_string(), label))
+                                .or_insert([0; 4])[column] += count;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut table = TextTable::new(
+        format!("Table 11: detected activity instances in {idle_hours}h idle (F1>0.9 models)"),
+        &["Device", "Activity", "US", "UK", "US→UK", "UK→US"],
+    );
+    let mut sorted: Vec<_> = rows.into_iter().collect();
+    sorted.sort_by_key(|(_, counts)| std::cmp::Reverse(counts.iter().sum::<usize>()));
+    for ((device, label), counts) in sorted {
+        if counts.iter().sum::<usize>() < 2 {
+            continue; // the paper omits activities with <3 instances
+        }
+        table.row(vec![
+            device,
+            label,
+            counts[0].to_string(),
+            counts[1].to_string(),
+            counts[2].to_string(),
+            counts[3].to_string(),
+        ]);
+    }
+    println!(
+        "({gated}/{total_models} device models below the F1>0.9 gate were excluded)\n"
+    );
+    iot_bench::emit(
+        "table11",
+        &table,
+        "Zmodo doorbell dominates (1845 idle 'move' detections in 28h); Wansview camera \
+         ~114-130 moves; TVs refresh menus; reconnect-prone devices (Sous Vide: 65 UK) \
+         produce spurious 'power' events",
+    );
+}

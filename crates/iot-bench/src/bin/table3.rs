@@ -1,0 +1,40 @@
+//! Table 3: number of non-first parties contacted by devices, grouped by
+//! device category and party type.
+
+use iot_analysis::destinations::ColumnCtx;
+use iot_analysis::report::TextTable;
+use iot_geodb::party::PartyType;
+use iot_testbed::device::Category;
+
+fn main() {
+    let scale = iot_bench::scale();
+    eprintln!("building corpus at {scale:?} scale…");
+    let corpus = iot_bench::build_corpus(iot_bench::campaign_config(scale));
+
+    let columns = ColumnCtx::standard();
+    let mut headers = vec!["Category", "Party"];
+    let header_strings: Vec<String> = columns.iter().map(|c| c.header()).collect();
+    headers.extend(header_strings.iter().map(|s| s.as_str()));
+    let mut table = TextTable::new("Table 3: non-first parties by device category", &headers);
+
+    for &category in Category::all() {
+        for party in [PartyType::Support, PartyType::Third] {
+            let mut row = vec![category.name().to_string(), party.to_string()];
+            for ctx in columns {
+                row.push(
+                    corpus
+                        .destinations
+                        .unique_destinations_by_category(ctx, category, party)
+                        .to_string(),
+                );
+            }
+            table.row(row);
+        }
+    }
+    iot_bench::emit(
+        "table3",
+        &table,
+        "cameras contact the most support parties (US 49 / UK 50); TVs contact the most \
+         third parties (US 4 / UK 2)",
+    );
+}

@@ -1,0 +1,51 @@
+//! Table 5: number of devices per encryption-percentage quartile
+//! (unencrypted ✗ / encrypted ✓ / unknown ?) across labs and VPN egress.
+
+use iot_analysis::report::TextTable;
+use iot_entropy::EncryptionClass;
+use iot_testbed::lab::LabSite;
+
+fn main() {
+    let scale = iot_bench::scale();
+    eprintln!("building corpus at {scale:?} scale…");
+    let corpus = iot_bench::build_corpus(iot_bench::campaign_config(scale));
+
+    let contexts: [(LabSite, bool, bool); 8] = [
+        (LabSite::Us, false, false),
+        (LabSite::Uk, false, false),
+        (LabSite::Us, false, true),
+        (LabSite::Uk, false, true),
+        (LabSite::Us, true, false),
+        (LabSite::Uk, true, false),
+        (LabSite::Us, true, true),
+        (LabSite::Uk, true, true),
+    ];
+    let headers = [
+        "Enc", "Range", "US", "UK", "US∩", "UK∩", "US→UK", "UK→US", "US→UK∩", "UK→US∩",
+    ];
+    let mut table = TextTable::new("Table 5: devices by encryption percentage quartile", &headers);
+    let ranges = [">75", "50-75", "25-50", "<25"];
+    for (class, sym) in [
+        (EncryptionClass::LikelyUnencrypted, "x"),
+        (EncryptionClass::LikelyEncrypted, "enc"),
+        (EncryptionClass::Unknown, "?"),
+    ] {
+        let hists: Vec<[usize; 4]> = contexts
+            .iter()
+            .map(|&(site, vpn, common)| corpus.encryption.quartile_histogram(site, vpn, common, class))
+            .collect();
+        for (i, range) in ranges.iter().enumerate() {
+            let mut row = vec![sym.to_string(), range.to_string()];
+            for hist in &hists {
+                row.push(hist[i].to_string());
+            }
+            table.row(row);
+        }
+    }
+    iot_bench::emit(
+        "table5",
+        &table,
+        "no device exceeds 75% unencrypted; 7 devices per lab exceed 75% encrypted; all \
+         but ~10 devices have >25% unknown traffic",
+    );
+}

@@ -1,0 +1,50 @@
+//! Table 6: per-category percentage of bytes sent unencrypted / encrypted
+//! / unknown across labs and VPN egress.
+
+use iot_analysis::report::{pct, TextTable};
+use iot_entropy::EncryptionClass;
+use iot_testbed::device::Category;
+use iot_testbed::lab::LabSite;
+
+fn main() {
+    let scale = iot_bench::scale();
+    eprintln!("building corpus at {scale:?} scale…");
+    let corpus = iot_bench::build_corpus(iot_bench::campaign_config(scale));
+
+    let contexts: [(LabSite, bool, bool); 8] = [
+        (LabSite::Us, false, false),
+        (LabSite::Uk, false, false),
+        (LabSite::Us, false, true),
+        (LabSite::Uk, false, true),
+        (LabSite::Us, true, false),
+        (LabSite::Uk, true, false),
+        (LabSite::Us, true, true),
+        (LabSite::Uk, true, true),
+    ];
+    let headers = [
+        "Enc", "Category", "US", "UK", "US∩", "UK∩", "US→UK", "UK→US", "US→UK∩", "UK→US∩",
+    ];
+    let mut table = TextTable::new("Table 6: percent of bytes per category", &headers);
+    for (class, sym) in [
+        (EncryptionClass::LikelyUnencrypted, "x"),
+        (EncryptionClass::LikelyEncrypted, "enc"),
+        (EncryptionClass::Unknown, "?"),
+    ] {
+        for &category in Category::all() {
+            let mut row = vec![sym.to_string(), category.name().to_string()];
+            for &(site, vpn, common) in &contexts {
+                row.push(pct(corpus.encryption.category_percent(
+                    site, vpn, common, category, class,
+                )));
+            }
+            table.row(row);
+        }
+    }
+    iot_bench::emit(
+        "table6",
+        &table,
+        "cameras expose the largest unencrypted share (≈11% US, 10% UK, driven by \
+         Microseven/Zmodo/spy cameras); audio devices are >60% encrypted; hubs and \
+         appliances are mostly unknown (proprietary protocols)",
+    );
+}

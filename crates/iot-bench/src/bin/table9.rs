@@ -1,0 +1,78 @@
+//! Table 9: number of inferrable devices (macro F1 > 0.75) per category,
+//! per lab / egress context.
+
+use iot_analysis::inference::{infer_device, F1_INFERRABLE};
+use iot_analysis::report::TextTable;
+use iot_geodb::registry::GeoDb;
+use iot_testbed::device::{Availability, Category};
+use iot_testbed::lab::LabSite;
+use std::collections::HashMap;
+
+fn main() {
+    let scale = iot_bench::scale();
+    let config = iot_bench::inference_config(scale);
+    let campaign = iot_bench::training_campaign(scale);
+    let db = GeoDb::new();
+
+    // (site, vpn, common_only) → category → inferrable count
+    let mut counts: HashMap<(LabSite, bool, bool, Category), usize> = HashMap::new();
+    let mut totals: HashMap<Category, usize> = HashMap::new();
+    for lab in campaign.labs() {
+        for device in &lab.devices {
+            let spec = device.spec();
+            *totals.entry(spec.category).or_default() += 1;
+            for vpn in [false, true] {
+                eprintln!("  inferring {} @ {:?} vpn={}", spec.name, device.site, vpn);
+                let inf = infer_device(&db, &campaign, device, vpn, &config);
+                if inf.report.macro_f1 > F1_INFERRABLE {
+                    *counts
+                        .entry((device.site, vpn, false, spec.category))
+                        .or_default() += 1;
+                    if spec.availability == Availability::Both {
+                        *counts
+                            .entry((device.site, vpn, true, spec.category))
+                            .or_default() += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let contexts: [(LabSite, bool, bool); 8] = [
+        (LabSite::Us, false, false),
+        (LabSite::Uk, false, false),
+        (LabSite::Us, false, true),
+        (LabSite::Uk, false, true),
+        (LabSite::Us, true, false),
+        (LabSite::Uk, true, false),
+        (LabSite::Us, true, true),
+        (LabSite::Uk, true, true),
+    ];
+    let mut table = TextTable::new(
+        "Table 9: inferrable devices (F1 > 0.75) by category",
+        &["Category (#D)", "US", "UK", "US∩", "UK∩", "US→UK", "UK→US", "US→UK∩", "UK→US∩"],
+    );
+    for &category in Category::all() {
+        let mut row = vec![format!(
+            "{} ({})",
+            category.name(),
+            totals.get(&category).copied().unwrap_or(0)
+        )];
+        for &(site, vpn, common) in &contexts {
+            row.push(
+                counts
+                    .get(&(site, vpn, common, category))
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+            );
+        }
+        table.row(row);
+    }
+    iot_bench::emit(
+        "table9",
+        &table,
+        "cameras have the most inferrable devices (8 US / 6 UK of 17), then TVs (5/3 of 8) \
+         and audio (3/1 of 11); home automation and hubs are rarely inferrable (≤1)",
+    );
+}

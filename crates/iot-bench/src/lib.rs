@@ -1,0 +1,218 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Every binary accepts the `IOT_SCALE` environment variable:
+//!
+//! * `quick` — a minimal grid for smoke runs (~1–2 minutes total).
+//! * `medium` *(default)* — enough repetitions for stable numbers.
+//! * `full` — the paper-scale grid (§3.3's ~34,586 controlled
+//!   experiments); expect several minutes per binary.
+//!
+//! Results are printed as text tables and also written as JSON under
+//! `results/` (override with `IOT_RESULTS_DIR`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use iot_analysis::destinations::DestinationAnalysis;
+use iot_analysis::encryption::EncryptionAnalysis;
+use iot_analysis::flows::ExperimentFlows;
+use iot_analysis::pii::{scan_experiment, PiiFinding};
+use iot_analysis::report::TextTable;
+use iot_geodb::registry::GeoDb;
+use iot_testbed::lab::LabSite;
+use iot_testbed::schedule::{Campaign, CampaignConfig};
+use iot_testbed::traffic::identity_of;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Selected run scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-run grid.
+    Quick,
+    /// Default grid.
+    Medium,
+    /// Paper-scale grid.
+    Full,
+}
+
+/// Reads the scale from `IOT_SCALE`.
+pub fn scale() -> Scale {
+    match std::env::var("IOT_SCALE").as_deref() {
+        Ok("quick") => Scale::Quick,
+        Ok("full") => Scale::Full,
+        _ => Scale::Medium,
+    }
+}
+
+/// Campaign configuration for a scale.
+pub fn campaign_config(scale: Scale) -> CampaignConfig {
+    match scale {
+        Scale::Quick => CampaignConfig {
+            automated_reps: 2,
+            manual_reps: 1,
+            power_reps: 1,
+            idle_hours: 0.5,
+            include_vpn: true,
+        },
+        Scale::Medium => CampaignConfig {
+            automated_reps: 8,
+            manual_reps: 3,
+            power_reps: 3,
+            idle_hours: 4.0,
+            include_vpn: true,
+        },
+        Scale::Full => CampaignConfig::default(),
+    }
+}
+
+/// Cross-validation / forest settings per scale.
+pub fn inference_config(scale: Scale) -> iot_analysis::inference::InferenceConfig {
+    use iot_ml::forest::RandomForestConfig;
+    match scale {
+        Scale::Quick => iot_analysis::inference::InferenceConfig {
+            cv_repeats: 2,
+            forest: RandomForestConfig {
+                n_trees: 8,
+                ..RandomForestConfig::default()
+            },
+        },
+        Scale::Medium => iot_analysis::inference::InferenceConfig {
+            cv_repeats: 5,
+            forest: RandomForestConfig {
+                n_trees: 20,
+                ..RandomForestConfig::default()
+            },
+        },
+        Scale::Full => iot_analysis::inference::InferenceConfig::default(),
+    }
+}
+
+/// Campaign used when training per-device classifiers (no VPN dimension;
+/// that is chosen by the caller).
+pub fn training_campaign(scale: Scale) -> Campaign {
+    let mut config = campaign_config(scale);
+    config.automated_reps = config.automated_reps.max(match scale {
+        Scale::Quick => 6,
+        Scale::Medium => 12,
+        Scale::Full => 30,
+    });
+    config.manual_reps = config.manual_reps.max(4);
+    config.power_reps = config.power_reps.max(4);
+    Campaign::new(config)
+}
+
+/// The shared controlled-experiment corpus: destination + encryption
+/// analyses and PII findings, built in one streaming pass.
+pub struct Corpus {
+    /// Destination analysis over controlled + idle experiments.
+    pub destinations: DestinationAnalysis,
+    /// Encryption analysis over the same experiments.
+    pub encryption: EncryptionAnalysis,
+    /// All PII findings.
+    pub pii: Vec<PiiFinding>,
+    /// Per-(site, vpn, device) unencrypted-percentage samples, one per
+    /// experiment, for the Table 7 significance tests.
+    pub unenc_samples: HashMap<(LabSite, bool, &'static str), Vec<f64>>,
+    /// Number of experiments ingested.
+    pub experiments: u64,
+}
+
+/// Builds the shared corpus: every controlled experiment plus the idle
+/// captures of the campaign.
+pub fn build_corpus(config: CampaignConfig) -> Corpus {
+    let db = GeoDb::new();
+    let campaign = Campaign::new(config);
+    let mut identities = HashMap::new();
+    for lab in campaign.labs() {
+        for d in &lab.devices {
+            identities.insert((d.spec().name, d.site), identity_of(d));
+        }
+    }
+
+    let mut destinations = DestinationAnalysis::new();
+    let mut encryption = EncryptionAnalysis::default();
+    let mut pii = Vec::new();
+    let mut unenc_samples: HashMap<_, Vec<f64>> = HashMap::new();
+    let mut experiments = 0u64;
+    let mut ingest = |exp: iot_testbed::experiment::LabeledExperiment| {
+        let flows = ExperimentFlows::from_experiment(&exp);
+        destinations.add_flows(&exp, &flows);
+        encryption.add_flows(&exp, &flows);
+        if let Some(identity) = identities.get(&(exp.device_name, exp.site)) {
+            pii.extend(scan_experiment(&db, &exp, &flows, identity));
+        }
+        let mut unenc = 0u64;
+        let mut total = 0u64;
+        for lf in &flows.flows {
+            let class =
+                iot_analysis::encryption::classify_flow(lf, &iot_entropy::Thresholds::default());
+            let bytes = lf.flow.total_bytes();
+            total += bytes;
+            if class == iot_entropy::EncryptionClass::LikelyUnencrypted {
+                unenc += bytes;
+            }
+        }
+        if total > 0 {
+            unenc_samples
+                .entry((exp.site, exp.vpn, exp.device_name))
+                .or_default()
+                .push(unenc as f64 * 100.0 / total as f64);
+        }
+        experiments += 1;
+    };
+    campaign.run(&db, &mut ingest);
+    campaign.run_idle(&db, &mut ingest);
+    Corpus {
+        destinations,
+        encryption,
+        pii,
+        unenc_samples,
+        experiments,
+    }
+}
+
+/// Prints a table and writes its JSON (plus the paper's reference note)
+/// under `results/<name>.json`.
+pub fn emit(name: &str, table: &TextTable, paper_note: &str) {
+    println!("{}", table.render());
+    println!("paper: {paper_note}\n");
+    let dir = std::env::var("IOT_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    if std::fs::create_dir_all(&path).is_ok() {
+        let mut json = table.to_json();
+        json["paper_note"] = serde_json::Value::String(paper_note.to_string());
+        if let Ok(mut f) = std::fs::File::create(path.join(format!("{name}.json"))) {
+            let _ = writeln!(f, "{}", serde_json::to_string_pretty(&json).unwrap());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_corpus_builds() {
+        let corpus = build_corpus(CampaignConfig {
+            automated_reps: 1,
+            manual_reps: 1,
+            power_reps: 1,
+            idle_hours: 0.05,
+            include_vpn: false,
+        });
+        assert!(corpus.experiments > 300, "{}", corpus.experiments);
+        assert!(!corpus.pii.is_empty(), "leaky devices must produce findings");
+        assert!(!corpus.unenc_samples.is_empty());
+    }
+
+    #[test]
+    fn scale_configs_ordered() {
+        let q = campaign_config(Scale::Quick);
+        let m = campaign_config(Scale::Medium);
+        let f = campaign_config(Scale::Full);
+        assert!(q.automated_reps < m.automated_reps);
+        assert!(m.automated_reps < f.automated_reps);
+    }
+}

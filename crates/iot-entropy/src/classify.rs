@@ -1,0 +1,134 @@
+//! The entropy-threshold encryption classifier (§5.1).
+
+use crate::entropy::mean_packet_entropy;
+
+/// Classification outcome for a flow's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncryptionClass {
+    /// Mean per-packet entropy above the upper threshold.
+    LikelyEncrypted,
+    /// Mean per-packet entropy below the lower threshold.
+    LikelyUnencrypted,
+    /// Between the thresholds — undetermined, the paper's "?" class.
+    Unknown,
+}
+
+impl EncryptionClass {
+    /// Symbol used in the paper's tables: `✗` unencrypted, `✓` encrypted,
+    /// `?` unknown.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            EncryptionClass::LikelyEncrypted => "enc",
+            EncryptionClass::LikelyUnencrypted => "unenc",
+            EncryptionClass::Unknown => "?",
+        }
+    }
+}
+
+/// Classifier thresholds. The defaults are the paper's conservative
+/// choices; `iot-bench --bench ablation` sweeps alternatives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Entropy below this ⇒ likely unencrypted (paper: 0.4).
+    pub unencrypted_below: f64,
+    /// Entropy above this ⇒ likely encrypted (paper: 0.8).
+    pub encrypted_above: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            unencrypted_below: 0.4,
+            encrypted_above: 0.8,
+        }
+    }
+}
+
+impl Thresholds {
+    /// Creates custom thresholds.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ unencrypted_below ≤ encrypted_above ≤ 1`.
+    pub fn new(unencrypted_below: f64, encrypted_above: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&unencrypted_below)
+                && (0.0..=1.0).contains(&encrypted_above)
+                && unencrypted_below <= encrypted_above,
+            "invalid thresholds {unencrypted_below}/{encrypted_above}"
+        );
+        Thresholds {
+            unencrypted_below,
+            encrypted_above,
+        }
+    }
+
+    /// Classifies a single entropy value.
+    pub fn classify_value(&self, h: f64) -> EncryptionClass {
+        if h > self.encrypted_above {
+            EncryptionClass::LikelyEncrypted
+        } else if h < self.unencrypted_below {
+            EncryptionClass::LikelyUnencrypted
+        } else {
+            EncryptionClass::Unknown
+        }
+    }
+
+    /// Classifies a flow from its per-packet payloads.
+    pub fn classify_payloads<'a>(
+        &self,
+        payloads: impl IntoIterator<Item = &'a [u8]>,
+    ) -> EncryptionClass {
+        self.classify_value(mean_packet_entropy(payloads))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_thresholds_match_paper() {
+        let t = Thresholds::default();
+        assert_eq!(t.unencrypted_below, 0.4);
+        assert_eq!(t.encrypted_above, 0.8);
+    }
+
+    #[test]
+    fn boundary_values_are_unknown() {
+        // The paper uses strict inequalities: 0.4 ≤ H ≤ 0.8 is unknown.
+        let t = Thresholds::default();
+        assert_eq!(t.classify_value(0.4), EncryptionClass::Unknown);
+        assert_eq!(t.classify_value(0.8), EncryptionClass::Unknown);
+        assert_eq!(t.classify_value(0.6), EncryptionClass::Unknown);
+        assert_eq!(t.classify_value(0.39), EncryptionClass::LikelyUnencrypted);
+        assert_eq!(t.classify_value(0.81), EncryptionClass::LikelyEncrypted);
+    }
+
+    #[test]
+    fn payload_classification() {
+        let t = Thresholds::default();
+        let random: Vec<u8> = (0..=255).cycle().take(1024).collect();
+        let constant = [0x20u8; 1024];
+        assert_eq!(
+            t.classify_payloads([&random[..]]),
+            EncryptionClass::LikelyEncrypted
+        );
+        assert_eq!(
+            t.classify_payloads([&constant[..]]),
+            EncryptionClass::LikelyUnencrypted
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid thresholds")]
+    fn inverted_thresholds_panic() {
+        Thresholds::new(0.9, 0.1);
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(EncryptionClass::LikelyEncrypted.symbol(), "enc");
+        assert_eq!(EncryptionClass::LikelyUnencrypted.symbol(), "unenc");
+        assert_eq!(EncryptionClass::Unknown.symbol(), "?");
+    }
+}

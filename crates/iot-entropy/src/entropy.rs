@@ -1,0 +1,141 @@
+//! Normalized Shannon byte entropy.
+
+/// Computes the normalized Shannon entropy of a byte sequence.
+///
+/// The result is `H / 8 ∈ [0, 1]`: 0 for a constant sequence, approaching 1
+/// for long uniform-random sequences. Finite samples cap the achievable
+/// value at `log2(n)/8` for `n < 256` distinct bytes, which is why real
+/// ciphertext measured per-packet (a few hundred bytes) lands near 0.85
+/// rather than 1.0 — exactly the band the paper reports for TLS payloads.
+///
+/// Returns 0.0 for an empty slice.
+pub fn normalized_entropy(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[usize::from(b)] += 1;
+    }
+    let n = data.len() as f64;
+    let mut h = 0.0;
+    for &c in counts.iter().filter(|&&c| c > 0) {
+        let p = c as f64 / n;
+        h -= p * p.log2();
+    }
+    h / 8.0
+}
+
+/// Mean per-packet entropy across a flow's payloads, the unit the paper's
+/// classifier uses (empty payloads are skipped).
+pub fn mean_packet_entropy<'a>(payloads: impl IntoIterator<Item = &'a [u8]>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for p in payloads {
+        if !p.is_empty() {
+            sum += normalized_entropy(p);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Summary statistics (mean, population σ, min, max) over a set of entropy
+/// measurements, as reported in the paper's §5.1 calibration tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntropyStats {
+    /// Mean entropy.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+impl EntropyStats {
+    /// Computes statistics over a non-empty set of measurements.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "EntropyStats over empty set");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        EntropyStats {
+            mean,
+            stddev: var.sqrt(),
+            min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sequence_is_zero() {
+        assert_eq!(normalized_entropy(&[0x41; 1000]), 0.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(normalized_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn all_256_values_equally_is_one() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert!((normalized_entropy(&data) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_symbols_is_one_eighth() {
+        let data: Vec<u8> = (0..100).map(|i| if i % 2 == 0 { 0 } else { 1 }).collect();
+        assert!((normalized_entropy(&data) - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_sample_caps_entropy() {
+        // 128 distinct bytes once each: H = log2(128)/8 = 0.875.
+        let data: Vec<u8> = (0..128).collect();
+        assert!((normalized_entropy(&data) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_packet_entropy_skips_empty() {
+        let a = [0u8; 16];
+        let b: Vec<u8> = (0..=255).collect();
+        let payloads: Vec<&[u8]> = vec![&a, &[], &b];
+        let m = mean_packet_entropy(payloads.into_iter());
+        assert!((m - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_nothing_is_zero() {
+        assert_eq!(mean_packet_entropy(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn stats_computed() {
+        let s = EntropyStats::from_values(&[0.2, 0.4, 0.6]);
+        assert!((s.mean - 0.4).abs() < 1e-12);
+        assert!((s.min - 0.2).abs() < 1e-12);
+        assert!((s.max - 0.6).abs() < 1e-12);
+        assert!(s.stddev > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn stats_empty_panics() {
+        EntropyStats::from_values(&[]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for entropy invariants.
+
+use iot_entropy::classify::{EncryptionClass, Thresholds};
+use iot_entropy::entropy::{mean_packet_entropy, normalized_entropy, EntropyStats};
+use proptest::prelude::*;
+
+proptest! {
+    /// Entropy is always within [0, 1].
+    #[test]
+    fn entropy_bounded(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let h = normalized_entropy(&data);
+        prop_assert!((0.0..=1.0).contains(&h), "H = {h}");
+    }
+
+    /// Entropy is permutation-invariant (it depends only on the byte
+    /// histogram).
+    #[test]
+    fn entropy_permutation_invariant(mut data in proptest::collection::vec(any::<u8>(), 1..2048)) {
+        let h1 = normalized_entropy(&data);
+        data.sort_unstable();
+        let h2 = normalized_entropy(&data);
+        prop_assert!((h1 - h2).abs() < 1e-12);
+    }
+
+    /// Duplicating the data does not change its entropy.
+    #[test]
+    fn entropy_scale_invariant(data in proptest::collection::vec(any::<u8>(), 1..1024)) {
+        let h1 = normalized_entropy(&data);
+        let doubled: Vec<u8> = data.iter().chain(data.iter()).copied().collect();
+        let h2 = normalized_entropy(&doubled);
+        prop_assert!((h1 - h2).abs() < 1e-12);
+    }
+
+    /// A constant sequence always has zero entropy; adding one distinct
+    /// byte makes it strictly positive.
+    #[test]
+    fn constant_vs_near_constant(byte in any::<u8>(), len in 2usize..512) {
+        let constant = vec![byte; len];
+        prop_assert_eq!(normalized_entropy(&constant), 0.0);
+        let mut near = constant;
+        near[0] = byte.wrapping_add(1);
+        prop_assert!(normalized_entropy(&near) > 0.0);
+    }
+
+    /// Entropy never exceeds log2(n)/8 for n-byte input.
+    #[test]
+    fn finite_sample_bound(data in proptest::collection::vec(any::<u8>(), 1..300)) {
+        let h = normalized_entropy(&data);
+        let bound = (data.len() as f64).log2() / 8.0;
+        prop_assert!(h <= bound + 1e-9, "H={h} bound={bound}");
+    }
+
+    /// The classifier is total and consistent with its thresholds.
+    #[test]
+    fn classifier_consistent(h in 0.0f64..=1.0, low in 0.0f64..=0.5, high in 0.5f64..=1.0) {
+        let t = Thresholds::new(low, high);
+        let c = t.classify_value(h);
+        match c {
+            EncryptionClass::LikelyEncrypted => prop_assert!(h > high),
+            EncryptionClass::LikelyUnencrypted => prop_assert!(h < low),
+            EncryptionClass::Unknown => prop_assert!(h >= low && h <= high),
+        }
+    }
+
+    /// Mean packet entropy lies between the min and max per-packet entropy.
+    #[test]
+    fn mean_within_extremes(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..256), 1..12),
+    ) {
+        let values: Vec<f64> = chunks.iter().map(|c| normalized_entropy(c)).collect();
+        let stats = EntropyStats::from_values(&values);
+        let mean = mean_packet_entropy(chunks.iter().map(|c| c.as_slice()));
+        prop_assert!(mean >= stats.min - 1e-12 && mean <= stats.max + 1e-12);
+        prop_assert!((mean - stats.mean).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,163 @@
+//! Countries and serving regions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Countries appearing in the synthetic Internet model. The set mirrors the
+/// destination countries reported in the paper's Figure 2 (US, UK/Europe,
+/// China, Korea, Japan, plus long-tail destinations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Country {
+    UnitedStates,
+    UnitedKingdom,
+    Ireland,
+    Germany,
+    Netherlands,
+    France,
+    China,
+    SouthKorea,
+    Japan,
+    Singapore,
+    Australia,
+    India,
+    Canada,
+    Brazil,
+    Other,
+}
+
+impl Country {
+    /// ISO-3166-like two-letter code used in reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            Country::UnitedStates => "US",
+            Country::UnitedKingdom => "GB",
+            Country::Ireland => "IE",
+            Country::Germany => "DE",
+            Country::Netherlands => "NL",
+            Country::France => "FR",
+            Country::China => "CN",
+            Country::SouthKorea => "KR",
+            Country::Japan => "JP",
+            Country::Singapore => "SG",
+            Country::Australia => "AU",
+            Country::India => "IN",
+            Country::Canada => "CA",
+            Country::Brazil => "BR",
+            Country::Other => "XX",
+        }
+    }
+
+    /// The serving region this country belongs to.
+    pub fn region(self) -> Region {
+        match self {
+            Country::UnitedStates | Country::Canada | Country::Brazil => Region::Americas,
+            Country::UnitedKingdom
+            | Country::Ireland
+            | Country::Germany
+            | Country::Netherlands
+            | Country::France => Region::Europe,
+            Country::China
+            | Country::SouthKorea
+            | Country::Japan
+            | Country::Singapore
+            | Country::Australia
+            | Country::India => Region::AsiaPacific,
+            Country::Other => Region::Americas,
+        }
+    }
+
+    /// All concrete countries (excluding [`Country::Other`]).
+    pub fn all() -> &'static [Country] {
+        &[
+            Country::UnitedStates,
+            Country::UnitedKingdom,
+            Country::Ireland,
+            Country::Germany,
+            Country::Netherlands,
+            Country::France,
+            Country::China,
+            Country::SouthKorea,
+            Country::Japan,
+            Country::Singapore,
+            Country::Australia,
+            Country::India,
+            Country::Canada,
+            Country::Brazil,
+        ]
+    }
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Coarse serving regions used for replica selection. The labs' egress
+/// points map onto these: the US lab egresses in [`Region::Americas`], the
+/// UK lab in [`Region::Europe`], and the VPN swaps them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// North and South America.
+    Americas,
+    /// Europe.
+    Europe,
+    /// Asia-Pacific.
+    AsiaPacific,
+}
+
+impl Region {
+    /// A representative country for servers placed "in" a region.
+    pub fn anchor_country(self) -> Country {
+        match self {
+            Region::Americas => Country::UnitedStates,
+            Region::Europe => Country::Ireland,
+            Region::AsiaPacific => Country::Singapore,
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Region::Americas => "Americas",
+            Region::Europe => "Europe",
+            Region::AsiaPacific => "Asia-Pacific",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_unique() {
+        let mut codes: Vec<&str> = Country::all().iter().map(|c| c.code()).collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), Country::all().len());
+    }
+
+    #[test]
+    fn regions_assigned() {
+        assert_eq!(Country::UnitedStates.region(), Region::Americas);
+        assert_eq!(Country::UnitedKingdom.region(), Region::Europe);
+        assert_eq!(Country::China.region(), Region::AsiaPacific);
+        assert_eq!(Country::SouthKorea.region(), Region::AsiaPacific);
+    }
+
+    #[test]
+    fn anchors_live_in_their_region() {
+        for r in [Region::Americas, Region::Europe, Region::AsiaPacific] {
+            assert_eq!(r.anchor_country().region(), r);
+        }
+    }
+
+    #[test]
+    fn display_is_code() {
+        assert_eq!(Country::UnitedKingdom.to_string(), "GB");
+        assert_eq!(Region::Europe.to_string(), "Europe");
+    }
+}

@@ -1,0 +1,250 @@
+//! Organizations of the synthetic Internet.
+//!
+//! The table below is seeded from every organization the paper names in its
+//! destination analysis (§4.2–4.3, Tables 2–4) plus the manufacturer of
+//! every device in Table 1. Each organization has a primary business
+//! ([`OrgKind`]), a headquarters country, the regions where it operates
+//! servers, and the second-level domains it owns, each tagged with the role
+//! the domain plays ([`DomainRole`]).
+
+use crate::geo::{Country, Region};
+use serde::{Deserialize, Serialize};
+
+/// Primary business of an organization, which drives party classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrgKind {
+    /// Builds and sells IoT devices.
+    Manufacturer,
+    /// Sells outsourced computing (IaaS/PaaS) — a support party.
+    Cloud,
+    /// Sells content delivery — a support party.
+    Cdn,
+    /// Advertising business — a third party.
+    Advertising,
+    /// Analytics / tracking business — a third party.
+    Analytics,
+    /// Internet service provider — a third party when contacted directly.
+    Isp,
+    /// Streaming / content business — a third party.
+    ContentProvider,
+}
+
+/// What a domain is used for, within its owning organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DomainRole {
+    /// The organization's own service (e.g. `amazon.com`, `netflix.com`).
+    Primary,
+    /// Outsourced-infrastructure hosting for other companies
+    /// (e.g. `amazonaws.com`, `fastly.net`).
+    Infrastructure,
+}
+
+/// A static organization record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Organization {
+    /// Organization name as used in reports (Table 4 rows).
+    pub name: &'static str,
+    /// Primary business.
+    pub kind: OrgKind,
+    /// Headquarters country (where its origin servers sit).
+    pub hq: Country,
+    /// Regions where the organization operates serving replicas.
+    pub presence: &'static [Region],
+    /// Owned second-level domains and their roles.
+    pub domains: &'static [(&'static str, DomainRole)],
+}
+
+use Country::*;
+use DomainRole::{Infrastructure as Infra, Primary as Prim};
+use OrgKind::*;
+use Region::{Americas as AM, AsiaPacific as AP, Europe as EU};
+
+/// The complete organization table.
+pub const ORGS: &[Organization] = &[
+    // ——— Support-party hosting giants (Table 4 top rows) ———
+    Organization { name: "Amazon", kind: Cloud, hq: UnitedStates, presence: &[AM, EU, AP],
+        domains: &[("amazon.com", Prim), ("amazonaws.com", Infra), ("cloudfront.net", Infra), ("a2z.com", Prim), ("blinkforhome.com", Prim), ("ring.com", Prim)] },
+    Organization { name: "Google", kind: Cloud, hq: UnitedStates, presence: &[AM, EU, AP],
+        domains: &[("google.com", Prim), ("googleapis.com", Infra), ("gstatic.com", Infra), ("nest.com", Prim), ("googlevideo.com", Prim)] },
+    Organization { name: "Akamai", kind: Cdn, hq: UnitedStates, presence: &[AM, EU, AP],
+        domains: &[("akamai.net", Infra), ("akamaihd.net", Infra), ("akadns.net", Infra)] },
+    Organization { name: "Microsoft", kind: Cloud, hq: UnitedStates, presence: &[AM, EU],
+        domains: &[("microsoft.com", Prim), ("azure.com", Infra), ("windows.com", Prim), ("msftncsi.com", Prim)] },
+    // Limited geodiversity (Figure 2: "a majority of device traffic
+    // terminates in the US for both labs, likely due to reliance on
+    // infrastructure with limited geodiversity").
+    Organization { name: "Netflix", kind: ContentProvider, hq: UnitedStates, presence: &[AM],
+        domains: &[("netflix.com", Prim), ("nflxvideo.net", Prim), ("nflxso.net", Prim)] },
+    Organization { name: "Kingsoft", kind: Cloud, hq: China, presence: &[AP],
+        domains: &[("ksyun.com", Infra), ("kingsoft.com", Prim)] },
+    Organization { name: "21Vianet", kind: Cloud, hq: China, presence: &[AP],
+        domains: &[("21vianet.com", Infra)] },
+    Organization { name: "Alibaba", kind: Cloud, hq: China, presence: &[AP],
+        domains: &[("aliyun.com", Infra), ("alibabacloud.com", Infra), ("alibaba.com", Prim)] },
+    Organization { name: "Beijing Huaxiay", kind: Cloud, hq: China, presence: &[AP],
+        domains: &[("huaxiay.com", Infra)] },
+    Organization { name: "AT&T", kind: Isp, hq: UnitedStates, presence: &[AM],
+        domains: &[("att.com", Prim)] },
+    Organization { name: "Tuya", kind: Cloud, hq: China, presence: &[AM, EU, AP],
+        domains: &[("tuyaus.com", Infra), ("tuyaeu.com", Infra), ("tuyacn.com", Infra)] },
+    Organization { name: "Nuri Telecom", kind: Isp, hq: SouthKorea, presence: &[AP],
+        domains: &[("nuri.net", Prim)] },
+    Organization { name: "Fastly", kind: Cdn, hq: UnitedStates, presence: &[AM, EU],
+        domains: &[("fastly.net", Infra)] },
+    Organization { name: "Edgecast", kind: Cdn, hq: UnitedStates, presence: &[AM, EU],
+        domains: &[("edgecastcdn.net", Infra)] },
+    Organization { name: "HVVC", kind: Cloud, hq: UnitedStates, presence: &[AM],
+        domains: &[("hvvc.us", Infra)] },
+    Organization { name: "NTP Pool", kind: Cdn, hq: UnitedStates, presence: &[AM, EU, AP],
+        domains: &[("ntp.org", Infra), ("nist.gov", Infra)] },
+    // ——— Third parties the paper calls out ———
+    Organization { name: "Facebook", kind: Advertising, hq: UnitedStates, presence: &[AM, EU],
+        domains: &[("facebook.com", Prim), ("fbcdn.net", Prim)] },
+    Organization { name: "DoubleClick", kind: Advertising, hq: UnitedStates, presence: &[AM, EU],
+        domains: &[("doubleclick.net", Prim)] },
+    Organization { name: "Adobe Analytics", kind: Analytics, hq: UnitedStates, presence: &[AM],
+        domains: &[("omtrdc.net", Prim), ("adobe.com", Prim)] },
+    Organization { name: "WOW Internet", kind: Isp, hq: UnitedStates, presence: &[AM],
+        domains: &[("wowinc.com", Prim)] },
+    Organization { name: "Branch Metrics", kind: Analytics, hq: UnitedStates, presence: &[AM],
+        domains: &[("branch.io", Prim)] },
+    Organization { name: "Residential Broadband", kind: Isp, hq: UnitedStates, presence: &[AM, EU, AP],
+        domains: &[] },
+    // ——— Device manufacturers (Table 1) ———
+    Organization { name: "Samsung", kind: Manufacturer, hq: SouthKorea, presence: &[AP],
+        domains: &[("samsung.com", Prim), ("samsungcloud.com", Prim), ("smartthings.com", Prim), ("samsungcloudsolution.com", Prim), ("samsungotn.net", Prim)] },
+    Organization { name: "LG", kind: Manufacturer, hq: SouthKorea, presence: &[AP],
+        domains: &[("lge.com", Prim), ("lgtvsdp.com", Prim), ("lgsmartad.com", Prim)] },
+    Organization { name: "Xiaomi", kind: Manufacturer, hq: China, presence: &[AP],
+        domains: &[("mi.com", Prim), ("xiaomi.com", Prim), ("miwifi.com", Prim)] },
+    Organization { name: "Yi Technology", kind: Manufacturer, hq: China, presence: &[AP],
+        domains: &[("xiaoyi.com", Prim)] },
+    Organization { name: "TP-Link", kind: Manufacturer, hq: China, presence: &[AM, AP],
+        domains: &[("tplinkcloud.com", Prim), ("tp-link.com", Prim)] },
+    Organization { name: "Belkin", kind: Manufacturer, hq: UnitedStates, presence: &[AM],
+        domains: &[("belkin.com", Prim), ("xbcs.net", Prim)] },
+    Organization { name: "Philips", kind: Manufacturer, hq: Netherlands, presence: &[EU, AM],
+        domains: &[("meethue.com", Prim), ("philips.com", Prim)] },
+    Organization { name: "D-Link", kind: Manufacturer, hq: China, presence: &[AM, AP],
+        domains: &[("dlink.com", Prim), ("mydlink.com", Prim)] },
+    Organization { name: "Amcrest", kind: Manufacturer, hq: UnitedStates, presence: &[AM],
+        domains: &[("amcrest.com", Prim), ("amcrestcloud.com", Prim)] },
+    Organization { name: "Wansview", kind: Manufacturer, hq: China, presence: &[AP],
+        domains: &[("wansview.com", Prim)] },
+    Organization { name: "Zmodo", kind: Manufacturer, hq: China, presence: &[AM, AP],
+        domains: &[("zmodo.com", Prim), ("meshare.com", Prim)] },
+    Organization { name: "Lefun", kind: Manufacturer, hq: China, presence: &[AP],
+        domains: &[("lefunsmart.com", Prim)] },
+    Organization { name: "Luohe", kind: Manufacturer, hq: China, presence: &[AP],
+        domains: &[("luohecam.com", Prim)] },
+    Organization { name: "Microseven", kind: Manufacturer, hq: UnitedStates, presence: &[AM],
+        domains: &[("microseven.com", Prim)] },
+    Organization { name: "WiMaker", kind: Manufacturer, hq: China, presence: &[AP],
+        domains: &[("wimakercam.com", Prim)] },
+    Organization { name: "King Technology", kind: Manufacturer, hq: China, presence: &[AP],
+        domains: &[("kingdoorbell.com", Prim)] },
+    Organization { name: "Insteon", kind: Manufacturer, hq: UnitedStates, presence: &[AM],
+        domains: &[("insteon.com", Prim)] },
+    Organization { name: "Osram", kind: Manufacturer, hq: Germany, presence: &[EU, AM],
+        domains: &[("osram.com", Prim), ("lightify.com", Prim)] },
+    Organization { name: "Sengled", kind: Manufacturer, hq: China, presence: &[AM, AP],
+        domains: &[("sengled.com", Prim)] },
+    Organization { name: "Wink", kind: Manufacturer, hq: UnitedStates, presence: &[AM],
+        domains: &[("wink.com", Prim)] },
+    Organization { name: "Honeywell", kind: Manufacturer, hq: UnitedStates, presence: &[AM],
+        domains: &[("honeywell.com", Prim)] },
+    Organization { name: "MagicHome", kind: Manufacturer, hq: China, presence: &[AP],
+        domains: &[("magichue.net", Prim)] },
+    Organization { name: "Flux", kind: Manufacturer, hq: China, presence: &[AP],
+        domains: &[("fluxsmart.com", Prim)] },
+    Organization { name: "Roku", kind: Manufacturer, hq: UnitedStates, presence: &[AM, EU],
+        domains: &[("roku.com", Prim), ("rokutime.com", Prim)] },
+    Organization { name: "Apple", kind: Manufacturer, hq: UnitedStates, presence: &[AM, EU, AP],
+        domains: &[("apple.com", Prim), ("icloud.com", Prim), ("mzstatic.com", Prim)] },
+    Organization { name: "Harman", kind: Manufacturer, hq: UnitedStates, presence: &[AM],
+        domains: &[("harman.com", Prim)] },
+    Organization { name: "Allure", kind: Manufacturer, hq: UnitedStates, presence: &[AM],
+        domains: &[("alluresmartspeaker.com", Prim)] },
+    Organization { name: "Anova", kind: Manufacturer, hq: UnitedStates, presence: &[AM],
+        domains: &[("anovaculinary.com", Prim)] },
+    Organization { name: "Behmor", kind: Manufacturer, hq: UnitedStates, presence: &[AM],
+        domains: &[("behmor.com", Prim)] },
+    Organization { name: "GE Appliances", kind: Manufacturer, hq: UnitedStates, presence: &[AM],
+        domains: &[("geappliances.com", Prim)] },
+    Organization { name: "Netatmo", kind: Manufacturer, hq: France, presence: &[EU, AM],
+        domains: &[("netatmo.com", Prim), ("netatmo.net", Prim)] },
+    Organization { name: "Smarter", kind: Manufacturer, hq: UnitedKingdom, presence: &[EU],
+        domains: &[("smarter.am", Prim)] },
+    Organization { name: "Bosiwo", kind: Manufacturer, hq: China, presence: &[AP],
+        domains: &[("bosiwocam.com", Prim)] },
+];
+
+/// Looks an organization up by exact name.
+pub fn org_by_name(name: &str) -> Option<&'static Organization> {
+    ORGS.iter().find(|o| o.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn names_unique() {
+        let mut seen = HashSet::new();
+        for o in ORGS {
+            assert!(seen.insert(o.name), "duplicate org {}", o.name);
+        }
+    }
+
+    #[test]
+    fn domains_unique_across_orgs() {
+        let mut seen = HashSet::new();
+        for o in ORGS {
+            for (d, _) in o.domains {
+                assert!(seen.insert(*d), "domain {d} owned by two orgs");
+            }
+        }
+    }
+
+    #[test]
+    fn every_org_has_presence() {
+        for o in ORGS {
+            assert!(!o.presence.is_empty(), "{} has no presence", o.name);
+        }
+    }
+
+    #[test]
+    fn paper_named_orgs_present() {
+        for name in [
+            "Amazon", "Google", "Akamai", "Microsoft", "Netflix", "Kingsoft", "21Vianet",
+            "Alibaba", "Beijing Huaxiay", "AT&T", "Tuya", "Nuri Telecom", "Facebook",
+            "DoubleClick", "Adobe Analytics", "WOW Internet", "Branch Metrics", "Fastly",
+            "Edgecast", "HVVC",
+        ] {
+            assert!(org_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn infrastructure_domains_belong_to_support_kinds() {
+        for o in ORGS {
+            for (d, role) in o.domains {
+                if *role == DomainRole::Infrastructure {
+                    assert!(
+                        matches!(o.kind, OrgKind::Cloud | OrgKind::Cdn),
+                        "{d} is Infrastructure but {} is {:?}",
+                        o.name,
+                        o.kind
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(org_by_name("Amazon").unwrap().hq, Country::UnitedStates);
+        assert!(org_by_name("Nonexistent").is_none());
+    }
+}

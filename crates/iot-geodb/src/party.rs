@@ -1,0 +1,164 @@
+//! Party classification (§2.1, §4.1).
+//!
+//! * **First party** — the device manufacturer or a related company
+//!   responsible for fulfilling the device's functionality.
+//! * **Support party** — a company providing outsourced computing (CDN,
+//!   cloud hosting).
+//! * **Third party** — everything else, including advertising and
+//!   analytics companies.
+
+use crate::org::{DomainRole, Organization, OrgKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classification of a destination relative to a device's manufacturer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PartyType {
+    /// The manufacturer itself (or a related first-party service).
+    First,
+    /// Outsourced computing: CDN and cloud providers.
+    Support,
+    /// Advertisers, trackers, content services, ISPs, other manufacturers.
+    Third,
+}
+
+impl PartyType {
+    /// True for support or third parties — the paper's "non-first party".
+    pub fn is_non_first(self) -> bool {
+        self != PartyType::First
+    }
+}
+
+impl fmt::Display for PartyType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PartyType::First => "first",
+            PartyType::Support => "support",
+            PartyType::Third => "third",
+        })
+    }
+}
+
+/// Classifies a destination owned by `org` (via domain role `role`, when a
+/// domain was identified) for a device made by `manufacturer_org`.
+///
+/// Rules, mirroring §4.1's procedure:
+/// 1. The destination organization matching the device manufacturer ⇒
+///    **first party**.
+/// 2. Otherwise, a company whose business (or the specific domain's role)
+///    is providing computing resources ⇒ **support party**.
+/// 3. Anything else ⇒ **third party**.
+pub fn classify(
+    org: &Organization,
+    role: Option<DomainRole>,
+    manufacturer_org: &str,
+) -> PartyType {
+    if org.name == manufacturer_org {
+        return PartyType::First;
+    }
+    match role {
+        Some(DomainRole::Infrastructure) => PartyType::Support,
+        Some(DomainRole::Primary) => match org.kind {
+            OrgKind::Cdn | OrgKind::Cloud => PartyType::Support,
+            _ => PartyType::Third,
+        },
+        // No domain identified: fall back to the organization's business,
+        // as the paper does when only the IP owner is known.
+        None => match org.kind {
+            OrgKind::Cdn | OrgKind::Cloud => PartyType::Support,
+            _ => PartyType::Third,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::org::org_by_name;
+
+    #[test]
+    fn manufacturer_is_first_party() {
+        let samsung = org_by_name("Samsung").unwrap();
+        assert_eq!(
+            classify(samsung, Some(DomainRole::Primary), "Samsung"),
+            PartyType::First
+        );
+    }
+
+    #[test]
+    fn aws_is_support_for_everyone_else() {
+        let amazon = org_by_name("Amazon").unwrap();
+        assert_eq!(
+            classify(amazon, Some(DomainRole::Infrastructure), "Samsung"),
+            PartyType::Support
+        );
+    }
+
+    #[test]
+    fn amazon_is_first_for_amazon_devices() {
+        let amazon = org_by_name("Amazon").unwrap();
+        // Echo contacting amazon.com or even AWS: first party — Amazon
+        // fulfills the device functionality itself.
+        assert_eq!(
+            classify(amazon, Some(DomainRole::Primary), "Amazon"),
+            PartyType::First
+        );
+        assert_eq!(
+            classify(amazon, Some(DomainRole::Infrastructure), "Amazon"),
+            PartyType::First
+        );
+    }
+
+    #[test]
+    fn netflix_is_third_party() {
+        // "Nearly all TV devices contact Netflix even though we never
+        // configured any TV with a Netflix account" — a third party.
+        let netflix = org_by_name("Netflix").unwrap();
+        assert_eq!(
+            classify(netflix, Some(DomainRole::Primary), "Samsung"),
+            PartyType::Third
+        );
+    }
+
+    #[test]
+    fn trackers_are_third_party() {
+        for name in ["DoubleClick", "Adobe Analytics", "Branch Metrics", "Facebook"] {
+            let org = org_by_name(name).unwrap();
+            assert_eq!(
+                classify(org, Some(DomainRole::Primary), "Roku"),
+                PartyType::Third,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn cloud_primary_domain_still_support() {
+        // kingsoft.com (Primary role, Cloud kind) counts as support.
+        let kingsoft = org_by_name("Kingsoft").unwrap();
+        assert_eq!(
+            classify(kingsoft, Some(DomainRole::Primary), "Xiaomi"),
+            PartyType::Support
+        );
+    }
+
+    #[test]
+    fn unlabeled_ip_classified_by_org_business() {
+        let residential = org_by_name("Residential Broadband").unwrap();
+        assert_eq!(classify(residential, None, "Wansview"), PartyType::Third);
+        let akamai = org_by_name("Akamai").unwrap();
+        assert_eq!(classify(akamai, None, "Wansview"), PartyType::Support);
+    }
+
+    #[test]
+    fn non_first_helper() {
+        assert!(!PartyType::First.is_non_first());
+        assert!(PartyType::Support.is_non_first());
+        assert!(PartyType::Third.is_non_first());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PartyType::Support.to_string(), "support");
+    }
+}

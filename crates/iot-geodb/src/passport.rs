@@ -1,0 +1,177 @@
+//! Passport-style country inference (§4.1).
+//!
+//! The paper: "We use the Passport tool, which is able to infer the country
+//! containing a destination IP address by combining traceroute data with
+//! other IP geolocation sources. We do not use public geolocation databases
+//! alone, which we found to be highly inaccurate."
+//!
+//! This module reproduces the *method*: it simulates a traceroute from the
+//! egress point to the destination (hop countries follow the real serving
+//! block), some hops are unresponsive, and inference combines the last
+//! responsive hop's country with the naive database as a fallback.
+
+use crate::geo::{Country, Region};
+use crate::registry::{fnv1a, GeoDb};
+use std::net::Ipv4Addr;
+
+/// One traceroute hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Hop country, or `None` when the router did not respond.
+    pub country: Option<Country>,
+}
+
+/// Simulates a traceroute from an egress region to `dst`. The path starts
+/// in the egress country, transits intermediate networks, and ends in the
+/// destination block's true country. Unresponsiveness is deterministic per
+/// destination.
+pub fn traceroute(db: &GeoDb, dst: Ipv4Addr, egress: Region) -> Vec<Hop> {
+    let src_country = egress.anchor_country();
+    let dst_country = db.true_country(dst).unwrap_or(Country::Other);
+    let h = fnv1a(&u32::from(dst).to_be_bytes());
+    let mut hops = Vec::with_capacity(8);
+    // Access + transit hops inside the egress country.
+    let near = 2 + (h % 2) as usize;
+    for i in 0..near {
+        hops.push(Hop {
+            country: responsive(h, i).then_some(src_country),
+        });
+    }
+    // International transit (unattributable, modeled as unresponsive).
+    if dst_country != src_country {
+        hops.push(Hop { country: None });
+    }
+    // Hops inside the destination network.
+    let far = 2 + ((h >> 8) % 2) as usize;
+    for i in 0..far {
+        hops.push(Hop {
+            country: responsive(h, near + 1 + i).then_some(dst_country),
+        });
+    }
+    hops
+}
+
+/// Deterministic per-(destination, hop) responsiveness: roughly 1 in 8 hops
+/// stays silent.
+fn responsive(h: u64, idx: usize) -> bool {
+    (h >> (idx * 3)) & 0x07 != 0
+}
+
+/// Infers the country of `dst` the way Passport does: the country of the
+/// last responsive traceroute hop, falling back to the naive geolocation
+/// database when the tail of the path was silent.
+pub fn infer_country(db: &GeoDb, dst: Ipv4Addr, egress: Region) -> Option<Country> {
+    let hops = traceroute(db, dst, egress);
+    let last_responsive = hops.iter().rev().find_map(|hop| hop.country);
+    match last_responsive {
+        Some(c) => Some(c),
+        None => db.naive_country(dst),
+    }
+}
+
+/// Accuracy of an inference method against registry ground truth, for the
+/// ablation comparing Passport-style inference with the naive database.
+pub fn accuracy<F>(db: &GeoDb, targets: &[Ipv4Addr], egress: Region, mut method: F) -> f64
+where
+    F: FnMut(&GeoDb, Ipv4Addr, Region) -> Option<Country>,
+{
+    if targets.is_empty() {
+        return 1.0;
+    }
+    let correct = targets
+        .iter()
+        .filter(|&&ip| method(db, ip, egress) == db.true_country(ip))
+        .count();
+    correct as f64 / targets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_targets(db: &GeoDb, egress: Region) -> Vec<Ipv4Addr> {
+        [
+            "api.amazon.com",
+            "s3.amazonaws.com",
+            "clients.google.com",
+            "cache.akamai.net",
+            "api.ksyun.com",
+            "mqtt.aliyun.com",
+            "updates.tplinkcloud.com",
+            "api.netflix.com",
+            "hub.meethue.com",
+            "api.netatmo.net",
+            "time.nist.gov",
+            "api.smarter.am",
+        ]
+        .iter()
+        .map(|h| db.resolve(h, egress).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn traceroute_ends_in_destination_country() {
+        let db = GeoDb::new();
+        let dst = db.resolve("api.ksyun.com", Region::Americas).unwrap();
+        let hops = traceroute(&db, dst, Region::Americas);
+        let last = hops.iter().rev().find_map(|h| h.country);
+        assert_eq!(last, Some(Country::China));
+    }
+
+    #[test]
+    fn traceroute_starts_in_egress_country() {
+        let db = GeoDb::new();
+        let dst = db.resolve("api.ksyun.com", Region::Europe).unwrap();
+        let hops = traceroute(&db, dst, Region::Europe);
+        let first = hops.iter().find_map(|h| h.country);
+        assert_eq!(first, Some(Country::Ireland));
+    }
+
+    #[test]
+    fn passport_beats_naive_database() {
+        let db = GeoDb::new();
+        for egress in [Region::Americas, Region::Europe] {
+            let targets = sample_targets(&db, egress);
+            let passport_acc = accuracy(&db, &targets, egress, infer_country);
+            let naive_acc = accuracy(&db, &targets, egress, |db, ip, _| db.naive_country(ip));
+            assert!(
+                passport_acc >= naive_acc,
+                "{egress:?}: passport {passport_acc} < naive {naive_acc}"
+            );
+            assert!(passport_acc > 0.9, "{egress:?}: passport accuracy {passport_acc}");
+        }
+    }
+
+    #[test]
+    fn naive_database_is_wrong_for_eu_replicas() {
+        let db = GeoDb::new();
+        let targets = sample_targets(&db, Region::Europe);
+        let naive_acc = accuracy(&db, &targets, Region::Europe, |db, ip, _| db.naive_country(ip));
+        assert!(naive_acc < 0.9, "naive database should misplace EU replicas, acc={naive_acc}");
+    }
+
+    #[test]
+    fn inference_deterministic() {
+        let db = GeoDb::new();
+        let dst = db.resolve("api.amazon.com", Region::Americas).unwrap();
+        assert_eq!(
+            infer_country(&db, dst, Region::Americas),
+            infer_country(&db, dst, Region::Americas)
+        );
+    }
+
+    #[test]
+    fn unknown_ip_falls_back_to_none() {
+        let db = GeoDb::new();
+        let unknown = Ipv4Addr::new(203, 0, 113, 77);
+        // Traceroute's last hop carries Country::Other for unknown blocks.
+        let inferred = infer_country(&db, unknown, Region::Americas);
+        assert!(inferred == Some(Country::Other) || inferred.is_none());
+    }
+
+    #[test]
+    fn accuracy_empty_is_one() {
+        let db = GeoDb::new();
+        assert_eq!(accuracy(&db, &[], Region::Americas, infer_country), 1.0);
+    }
+}

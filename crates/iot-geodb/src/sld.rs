@@ -1,0 +1,82 @@
+//! Second-level-domain extraction (§4.1).
+//!
+//! The paper keys its destination analysis on the SLD of each contacted
+//! host, e.g. `device-metrics-us.amazon.com` → `amazon.com`. Correct SLD
+//! extraction requires knowing multi-label public suffixes (`co.uk`,
+//! `com.cn`, …); this module embeds the slice of the public-suffix list the
+//! simulated Internet uses.
+
+/// Multi-label public suffixes recognized in addition to single-label TLDs.
+const MULTI_LABEL_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.cn", "net.cn", "org.cn", "co.kr", "or.kr",
+    "co.jp", "ne.jp", "com.sg", "com.au", "co.in", "com.br",
+];
+
+/// Extracts the second-level domain of a host name: the registrable domain
+/// one label below the public suffix. Returns the input lowercased when it
+/// has too few labels to split (e.g. a bare TLD), and `None` for empty
+/// input or IP-address-like strings.
+pub fn sld(host: &str) -> Option<String> {
+    let host = host.trim().trim_end_matches('.').to_ascii_lowercase();
+    if host.is_empty() || host.bytes().all(|b| b.is_ascii_digit() || b == b'.') {
+        return None;
+    }
+    let labels: Vec<&str> = host.split('.').collect();
+    if labels.iter().any(|l| l.is_empty()) {
+        return None;
+    }
+    if labels.len() == 1 {
+        return Some(host);
+    }
+    // Find the longest matching public suffix.
+    let last2 = labels[labels.len() - 2..].join(".");
+    let suffix_len = if MULTI_LABEL_SUFFIXES.contains(&last2.as_str()) {
+        2
+    } else {
+        1
+    };
+    if labels.len() <= suffix_len {
+        return Some(host);
+    }
+    Some(labels[labels.len() - suffix_len - 1..].join("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_com() {
+        assert_eq!(sld("device-metrics-us.amazon.com").as_deref(), Some("amazon.com"));
+        assert_eq!(sld("amazon.com").as_deref(), Some("amazon.com"));
+    }
+
+    #[test]
+    fn multi_label_suffixes() {
+        assert_eq!(sld("api.bbc.co.uk").as_deref(), Some("bbc.co.uk"));
+        assert_eq!(sld("cdn.aliyun.com.cn").as_deref(), Some("aliyun.com.cn"));
+        assert_eq!(sld("www.samsung.co.kr").as_deref(), Some("samsung.co.kr"));
+    }
+
+    #[test]
+    fn deep_subdomains() {
+        assert_eq!(
+            sld("a.b.c.d.ec2.amazonaws.com").as_deref(),
+            Some("amazonaws.com")
+        );
+    }
+
+    #[test]
+    fn case_and_trailing_dot_normalized() {
+        assert_eq!(sld("API.Amazon.COM.").as_deref(), Some("amazon.com"));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(sld(""), None);
+        assert_eq!(sld("10.0.0.1"), None);
+        assert_eq!(sld("com").as_deref(), Some("com"));
+        assert_eq!(sld("co.uk").as_deref(), Some("co.uk"));
+        assert_eq!(sld("a..b"), None);
+    }
+}

@@ -1,0 +1,121 @@
+//! Labeled feature matrices.
+
+/// A labeled dataset: row-major feature matrix plus integer class labels.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Feature rows; all rows share the same width.
+    pub features: Vec<Vec<f64>>,
+    /// Class label per row, indexing [`Dataset::label_names`].
+    pub labels: Vec<usize>,
+    /// Human-readable class names.
+    pub label_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given class names.
+    pub fn new(label_names: Vec<String>) -> Self {
+        Dataset {
+            features: Vec::new(),
+            labels: Vec::new(),
+            label_names,
+        }
+    }
+
+    /// Appends one labeled sample.
+    ///
+    /// # Panics
+    /// Panics if the label is out of range or the row width differs from
+    /// existing rows.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        assert!(label < self.label_names.len(), "label {label} out of range");
+        if let Some(first) = self.features.first() {
+            assert_eq!(first.len(), features.len(), "inconsistent feature width");
+        }
+        self.features.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per sample (0 when empty).
+    pub fn width(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.label_names.len()
+    }
+
+    /// Samples per class.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Builds a view dataset from row indices (rows are cloned).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            label_names: self.label_names.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(vec!["on".into(), "off".into()]);
+        d.push(vec![1.0, 2.0], 0);
+        d.push(vec![3.0, 4.0], 1);
+        d.push(vec![5.0, 6.0], 1);
+        d
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.class_counts(), vec![1, 2]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = sample();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.features[0], vec![5.0, 6.0]);
+        assert_eq!(s.labels, vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let mut d = sample();
+        d.push(vec![0.0, 0.0], 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature width")]
+    fn bad_width_panics() {
+        let mut d = sample();
+        d.push(vec![0.0], 0);
+    }
+}

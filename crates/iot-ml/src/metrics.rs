@@ -1,0 +1,201 @@
+//! Classification metrics: confusion matrices, precision, recall, F1.
+//!
+//! §6.3: "we use the F1 score, defined as the harmonic mean between
+//! precision and recall … F1 = 0 is the worst score and F1 = 1 is the
+//! best. We calculate the F1 score for the prediction of each activity of
+//! the device …, and the F1 score across all activities for each device."
+
+/// A square confusion matrix; rows = true class, columns = predicted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `n_classes` classes.
+    pub fn new(n_classes: usize) -> Self {
+        ConfusionMatrix {
+            n_classes,
+            counts: vec![0; n_classes * n_classes],
+        }
+    }
+
+    /// Records one (truth, prediction) observation.
+    ///
+    /// # Panics
+    /// Panics when either index is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.n_classes && predicted < self.n_classes);
+        self.counts[truth * self.n_classes + predicted] += 1;
+    }
+
+    /// Merges another matrix of the same shape into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.n_classes, other.n_classes);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Count at (truth, predicted).
+    pub fn get(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.n_classes + predicted]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Overall accuracy; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.n_classes).map(|i| self.get(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Precision of one class: TP / (TP + FP); 0 when never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.get(class, class);
+        let predicted: u64 = (0..self.n_classes).map(|t| self.get(t, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of one class: TP / (TP + FN); 0 when the class never occurs.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.get(class, class);
+        let actual: u64 = (0..self.n_classes).map(|p| self.get(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// Per-class F1: harmonic mean of precision and recall.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F1 over classes that actually occur in the truth —
+    /// the per-device score of §6.3.
+    pub fn macro_f1(&self) -> f64 {
+        let present: Vec<usize> = (0..self.n_classes)
+            .filter(|&c| (0..self.n_classes).any(|p| self.get(c, p) > 0))
+            .collect();
+        if present.is_empty() {
+            return 0.0;
+        }
+        present.iter().map(|&c| self.f1(c)).sum::<f64>() / present.len() as f64
+    }
+
+    /// Number of truth samples of a class.
+    pub fn support(&self, class: usize) -> u64 {
+        (0..self.n_classes).map(|p| self.get(class, p)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// truth 0 predicted as 0 twice, truth 1 predicted as 0 once and 1 once.
+    fn sample() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 0);
+        m.record(0, 0);
+        m.record(1, 0);
+        m.record(1, 1);
+        m
+    }
+
+    #[test]
+    fn accuracy() {
+        assert!((sample().accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(ConfusionMatrix::new(3).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let m = sample();
+        // class 0: TP=2, FP=1, FN=0
+        assert!((m.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(0) - 1.0).abs() < 1e-12);
+        assert!((m.f1(0) - 0.8).abs() < 1e-12);
+        // class 1: TP=1, FP=0, FN=1
+        assert!((m.precision(1) - 1.0).abs() < 1e-12);
+        assert!((m.recall(1) - 0.5).abs() < 1e-12);
+        assert!((m.f1(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_averages_present_classes() {
+        let m = sample();
+        assert!((m.macro_f1() - (0.8 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_excluded_from_macro() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0);
+        m.record(1, 1);
+        // class 2 never occurs in truth
+        assert!((m.macro_f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_classifier_f1_one() {
+        let mut m = ConfusionMatrix::new(4);
+        for c in 0..4 {
+            for _ in 0..5 {
+                m.record(c, c);
+            }
+        }
+        assert_eq!(m.macro_f1(), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_never_predicted() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(1, 0); // class 1 never predicted, class 0 never true
+        assert_eq!(m.precision(1), 0.0);
+        assert_eq!(m.recall(0), 0.0);
+        assert_eq!(m.f1(1), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total(), 8);
+        assert_eq!(a.get(0, 0), 4);
+    }
+
+    #[test]
+    fn support_counts_truth() {
+        let m = sample();
+        assert_eq!(m.support(0), 2);
+        assert_eq!(m.support(1), 2);
+    }
+}

@@ -1,0 +1,323 @@
+//! CART decision trees with Gini impurity.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A node of a fitted tree.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Internal split: go left when `features[feature] <= threshold`.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    /// Leaf predicting a class.
+    Leaf { class: usize },
+}
+
+/// Hyperparameters for tree induction.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Do not split nodes smaller than this.
+    pub min_samples_split: usize,
+    /// Number of candidate features per split; `None` = all features.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 16,
+            min_samples_split: 2,
+            max_features: None,
+        }
+    }
+}
+
+/// A fitted CART classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree to `data`. `rng` drives feature subsampling (pass a
+    /// seeded RNG for determinism).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset, config: &TreeConfig, rng: &mut StdRng) -> Self {
+        assert!(!data.is_empty(), "cannot fit a tree to an empty dataset");
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes: data.n_classes(),
+        };
+        let indices: Vec<usize> = (0..data.len()).collect();
+        tree.grow(data, &indices, config, 0, rng);
+        tree
+    }
+
+    /// Recursively grows the subtree for `indices`; returns its node index.
+    fn grow(
+        &mut self,
+        data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let counts = class_counts(data, indices, self.n_classes);
+        let majority = argmax(&counts);
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= config.max_depth || indices.len() < config.min_samples_split {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        }
+        match best_split(data, indices, config, rng) {
+            None => {
+                self.nodes.push(Node::Leaf { class: majority });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| data.features[i][feature] <= threshold);
+                // Reserve our slot before growing children.
+                let node_index = self.nodes.len();
+                self.nodes.push(Node::Leaf { class: majority }); // placeholder
+                let left = self.grow(data, &left_idx, config, depth + 1, rng);
+                let right = self.grow(data, &right_idx, config, depth + 1, rng);
+                self.nodes[node_index] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                node_index
+            }
+        }
+    }
+
+    /// Predicts the class of one feature row.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+fn class_counts(data: &Dataset, indices: &[usize], n_classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_classes];
+    for &i in indices {
+        counts[data.labels[i]] += 1;
+    }
+    counts
+}
+
+fn argmax(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+/// Finds the (feature, threshold) minimizing weighted Gini impurity over a
+/// random subset of features. Returns `None` when no split separates the
+/// samples.
+fn best_split(
+    data: &Dataset,
+    indices: &[usize],
+    config: &TreeConfig,
+    rng: &mut StdRng,
+) -> Option<(usize, f64)> {
+    let width = data.width();
+    let n_classes = data.n_classes();
+    let mut features: Vec<usize> = (0..width).collect();
+    if let Some(k) = config.max_features {
+        features.shuffle(rng);
+        features.truncate(k.max(1).min(width));
+    }
+    // Tie-break deterministically but without bias toward low feature ids.
+    let jitter: u64 = rng.gen();
+
+    let mut best: Option<(f64, usize, f64)> = None;
+    for &f in &features {
+        // Sort sample indices by this feature's value.
+        let mut order: Vec<usize> = indices.to_vec();
+        order.sort_by(|&a, &b| {
+            data.features[a][f]
+                .partial_cmp(&data.features[b][f])
+                .expect("non-finite feature")
+        });
+        let total = order.len();
+        let mut left_counts = vec![0usize; n_classes];
+        let mut right_counts = class_counts(data, indices, n_classes);
+        for w in 0..total - 1 {
+            let i = order[w];
+            left_counts[data.labels[i]] += 1;
+            right_counts[data.labels[i]] -= 1;
+            let v = data.features[i][f];
+            let v_next = data.features[order[w + 1]][f];
+            if v == v_next {
+                continue; // cannot split between equal values
+            }
+            let n_left = w + 1;
+            let n_right = total - n_left;
+            let score = (n_left as f64 * gini(&left_counts, n_left)
+                + n_right as f64 * gini(&right_counts, n_right))
+                / total as f64;
+            let better = match best {
+                None => true,
+                Some((s, bf, _)) => {
+                    score < s - 1e-12
+                        || (score < s + 1e-12 && (f ^ jitter as usize) < (bf ^ jitter as usize))
+                }
+            };
+            if better {
+                best = Some((score, f, (v + v_next) / 2.0));
+            }
+        }
+    }
+    // Accept any split that does not increase impurity: zero-gain splits
+    // are required to eventually separate XOR-like interactions (both
+    // children are strictly smaller, and depth is bounded).
+    let parent = gini(&class_counts(data, indices, n_classes), indices.len());
+    best.filter(|&(score, _, _)| score <= parent + 1e-12)
+        .map(|(_, f, t)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn xor_dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for _ in 0..5 {
+            d.push(vec![0.0, 0.0], 0);
+            d.push(vec![1.0, 1.0], 0);
+            d.push(vec![0.0, 1.0], 1);
+            d.push(vec![1.0, 0.0], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_linearly_separable() {
+        let mut d = Dataset::new(vec!["small".into(), "large".into()]);
+        for i in 0..20 {
+            d.push(vec![f64::from(i)], usize::from(i >= 10));
+        }
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        assert_eq!(tree.predict(&[3.0]), 0);
+        assert_eq!(tree.predict(&[15.0]), 1);
+    }
+
+    #[test]
+    fn fits_xor() {
+        let d = xor_dataset();
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        assert_eq!(tree.predict(&[0.0, 0.0]), 0);
+        assert_eq!(tree.predict(&[1.0, 1.0]), 0);
+        assert_eq!(tree.predict(&[0.0, 1.0]), 1);
+        assert_eq!(tree.predict(&[1.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn perfect_training_accuracy_on_distinct_points() {
+        let d = xor_dataset();
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        let correct = d
+            .features
+            .iter()
+            .zip(&d.labels)
+            .filter(|(f, &l)| tree.predict(f) == l)
+            .count();
+        assert_eq!(correct, d.len());
+    }
+
+    #[test]
+    fn depth_zero_is_majority_classifier() {
+        let d = xor_dataset();
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&d, &cfg, &mut rng());
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn identical_features_yield_single_leaf() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..10 {
+            d.push(vec![1.0, 1.0], i % 2);
+        }
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        assert_eq!(tree.node_count(), 1, "no split possible on constant data");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = xor_dataset();
+        let t1 = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        let t2 = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        for row in &d.features {
+            assert_eq!(t1.predict(row), t2.predict(row));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_panics() {
+        let d = Dataset::new(vec!["a".into()]);
+        DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+    }
+}

@@ -1,0 +1,314 @@
+//! Flow reconstruction: grouping captured packets into bidirectional
+//! 5-tuple flows, the unit of the paper's destination and encryption
+//! analyses.
+//!
+//! A flow is keyed from the *device's* perspective (local endpoint = the IoT
+//! device, remote endpoint = the Internet destination). Each flow tracks
+//! byte/packet counts per direction plus a bounded prefix of the application
+//! payload in each direction, which downstream analyses use for protocol
+//! identification, entropy measurement, and PII scanning.
+
+use crate::packet::{ParsedPacket, TransportHeader};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Transport protocol of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FlowProto {
+    /// TCP flow.
+    Tcp,
+    /// UDP flow.
+    Udp,
+}
+
+/// Direction of a packet relative to the IoT device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Device → Internet.
+    Outbound,
+    /// Internet → device.
+    Inbound,
+}
+
+/// Bidirectional flow key from the device's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Device-side address.
+    pub local_ip: Ipv4Addr,
+    /// Device-side port.
+    pub local_port: u16,
+    /// Remote (destination) address.
+    pub remote_ip: Ipv4Addr,
+    /// Remote port — the service port, e.g. 443.
+    pub remote_port: u16,
+    /// Transport protocol.
+    pub proto: FlowProto,
+}
+
+/// Default number of payload prefix bytes retained per direction.
+pub const DEFAULT_PAYLOAD_CAP: usize = 8192;
+
+/// Accumulated state for one flow.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// The flow's key.
+    pub key: FlowKey,
+    /// Timestamp of the first packet (µs).
+    pub first_ts: u64,
+    /// Timestamp of the last packet (µs).
+    pub last_ts: u64,
+    /// Packets sent by the device.
+    pub packets_out: u64,
+    /// Packets received by the device.
+    pub packets_in: u64,
+    /// Application payload bytes sent by the device.
+    pub bytes_out: u64,
+    /// Application payload bytes received by the device.
+    pub bytes_in: u64,
+    /// Prefix of the outbound payload stream (capped).
+    pub payload_out: Vec<u8>,
+    /// Prefix of the inbound payload stream (capped).
+    pub payload_in: Vec<u8>,
+}
+
+impl Flow {
+    fn new(key: FlowKey, ts: u64) -> Self {
+        Flow {
+            key,
+            first_ts: ts,
+            last_ts: ts,
+            packets_out: 0,
+            packets_in: 0,
+            bytes_out: 0,
+            bytes_in: 0,
+            payload_out: Vec::new(),
+            payload_in: Vec::new(),
+        }
+    }
+
+    /// Total application payload bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_out + self.bytes_in
+    }
+
+    /// Total packets in both directions.
+    pub fn total_packets(&self) -> u64 {
+        self.packets_out + self.packets_in
+    }
+
+    /// Flow duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        (self.last_ts.saturating_sub(self.first_ts)) as f64 / 1e6
+    }
+
+    fn observe(&mut self, dir: Direction, ts: u64, payload: &[u8], cap: usize) {
+        self.last_ts = self.last_ts.max(ts);
+        self.first_ts = self.first_ts.min(ts);
+        let (pkts, bytes, buf) = match dir {
+            Direction::Outbound => (&mut self.packets_out, &mut self.bytes_out, &mut self.payload_out),
+            Direction::Inbound => (&mut self.packets_in, &mut self.bytes_in, &mut self.payload_in),
+        };
+        *pkts += 1;
+        *bytes += payload.len() as u64;
+        let room = cap.saturating_sub(buf.len());
+        if room > 0 {
+            buf.extend_from_slice(&payload[..payload.len().min(room)]);
+        }
+    }
+}
+
+/// Groups parsed packets into flows.
+#[derive(Debug)]
+pub struct FlowTable {
+    flows: HashMap<FlowKey, Flow>,
+    local_net: (Ipv4Addr, u8),
+    payload_cap: usize,
+}
+
+impl FlowTable {
+    /// Creates a table for devices living inside `local_net` (address,
+    /// prefix length) — the testbed's private IoT subnet.
+    pub fn new(local_net: Ipv4Addr, prefix_len: u8) -> Self {
+        FlowTable {
+            flows: HashMap::new(),
+            local_net: (local_net, prefix_len),
+            payload_cap: DEFAULT_PAYLOAD_CAP,
+        }
+    }
+
+    /// Overrides the per-direction payload retention cap.
+    pub fn with_payload_cap(mut self, cap: usize) -> Self {
+        self.payload_cap = cap;
+        self
+    }
+
+    fn is_local(&self, ip: Ipv4Addr) -> bool {
+        let (net, len) = self.local_net;
+        if len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - u32::from(len));
+        (u32::from(ip) & mask) == (u32::from(net) & mask)
+    }
+
+    /// Feeds one parsed packet into the table. Returns the direction, or
+    /// `None` for LAN-internal / non-TCP-UDP traffic, which the paper's
+    /// analyses exclude (footnote 1 in §4.1).
+    pub fn observe(&mut self, pkt: &ParsedPacket<'_>, ts_micros: u64) -> Option<Direction> {
+        let (proto, src_port, dst_port) = match &pkt.transport {
+            TransportHeader::Tcp(t) => (FlowProto::Tcp, t.src_port, t.dst_port),
+            TransportHeader::Udp(u) => (FlowProto::Udp, u.src_port, u.dst_port),
+            TransportHeader::Other(_) => return None,
+        };
+        let src_local = self.is_local(pkt.ip.src);
+        let dst_local = self.is_local(pkt.ip.dst);
+        let (dir, key) = match (src_local, dst_local) {
+            (true, false) => (
+                Direction::Outbound,
+                FlowKey {
+                    local_ip: pkt.ip.src,
+                    local_port: src_port,
+                    remote_ip: pkt.ip.dst,
+                    remote_port: dst_port,
+                    proto,
+                },
+            ),
+            (false, true) => (
+                Direction::Inbound,
+                FlowKey {
+                    local_ip: pkt.ip.dst,
+                    local_port: dst_port,
+                    remote_ip: pkt.ip.src,
+                    remote_port: src_port,
+                    proto,
+                },
+            ),
+            // LAN-internal or transit traffic: outside the privacy analysis.
+            _ => return None,
+        };
+        let cap = self.payload_cap;
+        self.flows
+            .entry(key)
+            .or_insert_with(|| Flow::new(key, ts_micros))
+            .observe(dir, ts_micros, pkt.payload, cap);
+        Some(dir)
+    }
+
+    /// Number of flows seen so far.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flows have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Iterates over flows in an unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Flow> {
+        self.flows.values()
+    }
+
+    /// Consumes the table, returning flows sorted by first-packet time.
+    pub fn into_flows(self) -> Vec<Flow> {
+        let mut flows: Vec<Flow> = self.flows.into_values().collect();
+        flows.sort_by_key(|f| (f.first_ts, f.key));
+        flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::MacAddr;
+    use crate::packet::PacketBuilder;
+    use crate::tcp::TcpFlags;
+
+    const DEV_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 10, 31);
+    const CLOUD_IP: Ipv4Addr = Ipv4Addr::new(52, 84, 3, 3);
+    const DEV_MAC: MacAddr = MacAddr::new(0xa4, 0xcf, 0x12, 0, 0, 9);
+    const GW_MAC: MacAddr = MacAddr::new(0, 0x16, 0x3e, 0, 0, 1);
+
+    fn table() -> FlowTable {
+        FlowTable::new(Ipv4Addr::new(192, 168, 10, 0), 24)
+    }
+
+    #[test]
+    fn bidirectional_packets_join_one_flow() {
+        let mut t = table();
+        let mut out_b = PacketBuilder::new(DEV_MAC, GW_MAC, DEV_IP, CLOUD_IP);
+        let mut in_b = PacketBuilder::new(GW_MAC, DEV_MAC, CLOUD_IP, DEV_IP);
+        let p1 = out_b.tcp(0, 40000, 443, 0, 0, TcpFlags::PSH | TcpFlags::ACK, b"req");
+        let p2 = in_b.tcp(5_000, 443, 40000, 0, 3, TcpFlags::PSH | TcpFlags::ACK, b"resp!");
+        assert_eq!(t.observe(&p1.parse().unwrap(), p1.ts_micros), Some(Direction::Outbound));
+        assert_eq!(t.observe(&p2.parse().unwrap(), p2.ts_micros), Some(Direction::Inbound));
+        assert_eq!(t.len(), 1);
+        let flow = t.iter().next().unwrap();
+        assert_eq!(flow.bytes_out, 3);
+        assert_eq!(flow.bytes_in, 5);
+        assert_eq!(flow.payload_out, b"req");
+        assert_eq!(flow.payload_in, b"resp!");
+        assert_eq!(flow.key.remote_port, 443);
+        assert!((flow.duration_secs() - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lan_internal_traffic_excluded() {
+        let mut t = table();
+        let mut b = PacketBuilder::new(
+            DEV_MAC,
+            GW_MAC,
+            DEV_IP,
+            Ipv4Addr::new(192, 168, 10, 99),
+        );
+        let p = b.udp(0, 5000, 5000, b"lan");
+        assert_eq!(t.observe(&p.parse().unwrap(), 0), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn distinct_ports_distinct_flows() {
+        let mut t = table();
+        let mut b = PacketBuilder::new(DEV_MAC, GW_MAC, DEV_IP, CLOUD_IP);
+        let p1 = b.udp(0, 50000, 53, b"q1");
+        let p2 = b.udp(1, 50001, 53, b"q2");
+        t.observe(&p1.parse().unwrap(), 0);
+        t.observe(&p2.parse().unwrap(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn payload_cap_respected() {
+        let mut t = table().with_payload_cap(4);
+        let mut b = PacketBuilder::new(DEV_MAC, GW_MAC, DEV_IP, CLOUD_IP);
+        let p1 = b.udp(0, 50000, 9999, b"abcdef");
+        t.observe(&p1.parse().unwrap(), 0);
+        let flow = t.iter().next().unwrap();
+        assert_eq!(flow.payload_out, b"abcd");
+        assert_eq!(flow.bytes_out, 6, "byte counter must not be capped");
+    }
+
+    #[test]
+    fn into_flows_sorted_by_time() {
+        let mut t = table();
+        let mut b = PacketBuilder::new(DEV_MAC, GW_MAC, DEV_IP, CLOUD_IP);
+        let late = b.udp(9_000_000, 50001, 53, b"late");
+        let early = b.udp(1_000_000, 50002, 53, b"early");
+        t.observe(&late.parse().unwrap(), late.ts_micros);
+        t.observe(&early.parse().unwrap(), early.ts_micros);
+        let flows = t.into_flows();
+        assert_eq!(flows[0].payload_out, b"early");
+        assert_eq!(flows[1].payload_out, b"late");
+    }
+
+    #[test]
+    fn tcp_and_udp_same_ports_are_distinct() {
+        let mut t = table();
+        let mut b = PacketBuilder::new(DEV_MAC, GW_MAC, DEV_IP, CLOUD_IP);
+        let p1 = b.udp(0, 40000, 443, b"quic-ish");
+        let p2 = b.tcp(1, 40000, 443, 0, 0, TcpFlags::SYN, &[]);
+        t.observe(&p1.parse().unwrap(), 0);
+        t.observe(&p2.parse().unwrap(), 1);
+        assert_eq!(t.len(), 2);
+    }
+}

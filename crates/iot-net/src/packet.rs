@@ -1,0 +1,311 @@
+//! Composed packets: capture records, full-frame building, and full-frame
+//! parsing.
+//!
+//! A [`Packet`] is what the simulated gateway captures: a timestamp plus the
+//! raw frame bytes, exactly like a tcpdump record. [`PacketBuilder`]
+//! assembles valid frames layer by layer, and [`ParsedPacket`] decodes a
+//! captured frame back into typed headers.
+
+use crate::ethernet::{EtherType, EthernetFrame};
+use crate::ipv4::{protocol, Ipv4Header};
+use crate::mac::MacAddr;
+use crate::tcp::{TcpFlags, TcpHeader};
+use crate::udp::UdpHeader;
+use crate::Result;
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+/// A captured packet: microsecond timestamp plus raw frame bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Capture time in microseconds since the simulation epoch.
+    pub ts_micros: u64,
+    /// Raw Ethernet frame bytes.
+    pub data: Bytes,
+}
+
+impl Packet {
+    /// Creates a packet from raw frame bytes.
+    pub fn new(ts_micros: u64, data: impl Into<Bytes>) -> Self {
+        Packet {
+            ts_micros,
+            data: data.into(),
+        }
+    }
+
+    /// Capture time in (possibly fractional) seconds.
+    pub fn ts_seconds(&self) -> f64 {
+        self.ts_micros as f64 / 1e6
+    }
+
+    /// Total frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the frame is empty (never produced by the builder).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Decodes the frame into typed headers, rejecting non-IPv4 frames.
+    pub fn parse(&self) -> Result<ParsedPacket<'_>> {
+        ParsedPacket::parse(&self.data)
+    }
+
+    /// Decodes the frame as either IPv4 or ARP — the two frame kinds the
+    /// simulated gateway captures.
+    pub fn parse_frame(&self) -> Result<Frame<'_>> {
+        let eth = EthernetFrame::parse(&self.data)?;
+        match eth.ethertype {
+            EtherType::Arp => Ok(Frame::Arp(crate::arp::ArpPacket::parse(eth.payload)?)),
+            _ => Ok(Frame::Ip(ParsedPacket::parse(&self.data)?)),
+        }
+    }
+}
+
+/// A fully decoded frame: either an IPv4 packet or an ARP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame<'a> {
+    /// IPv4 over Ethernet.
+    Ip(ParsedPacket<'a>),
+    /// ARP over Ethernet (LAN-internal; ignored by the analyses).
+    Arp(crate::arp::ArpPacket),
+}
+
+/// Transport-layer header of a parsed packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportHeader {
+    /// TCP segment header.
+    Tcp(TcpHeader),
+    /// UDP datagram header.
+    Udp(UdpHeader),
+    /// Some other IP protocol; the raw protocol number is preserved.
+    Other(u8),
+}
+
+impl TransportHeader {
+    /// Source port, when the transport has ports.
+    pub fn src_port(&self) -> Option<u16> {
+        match self {
+            TransportHeader::Tcp(t) => Some(t.src_port),
+            TransportHeader::Udp(u) => Some(u.src_port),
+            TransportHeader::Other(_) => None,
+        }
+    }
+
+    /// Destination port, when the transport has ports.
+    pub fn dst_port(&self) -> Option<u16> {
+        match self {
+            TransportHeader::Tcp(t) => Some(t.dst_port),
+            TransportHeader::Udp(u) => Some(u.dst_port),
+            TransportHeader::Other(_) => None,
+        }
+    }
+
+    /// True for TCP.
+    pub fn is_tcp(&self) -> bool {
+        matches!(self, TransportHeader::Tcp(_))
+    }
+}
+
+/// A fully decoded Ethernet/IPv4/{TCP,UDP} packet borrowing from the frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedPacket<'a> {
+    /// Source hardware address.
+    pub src_mac: MacAddr,
+    /// Destination hardware address.
+    pub dst_mac: MacAddr,
+    /// IPv4 header.
+    pub ip: Ipv4Header,
+    /// Transport header.
+    pub transport: TransportHeader,
+    /// Application payload bytes.
+    pub payload: &'a [u8],
+}
+
+impl<'a> ParsedPacket<'a> {
+    /// Parses a raw Ethernet frame carrying IPv4.
+    pub fn parse(frame: &'a [u8]) -> Result<Self> {
+        let eth = EthernetFrame::parse(frame)?;
+        if eth.ethertype != EtherType::Ipv4 {
+            return Err(crate::Error::Unsupported {
+                layer: "ethernet",
+                what: format!("ethertype {:?}", eth.ethertype),
+            });
+        }
+        let (ip, ip_payload) = Ipv4Header::parse(eth.payload)?;
+        let (transport, payload) = match ip.protocol {
+            protocol::TCP => {
+                let (tcp, p) = TcpHeader::parse(ip_payload, ip.src, ip.dst)?;
+                (TransportHeader::Tcp(tcp), p)
+            }
+            protocol::UDP => {
+                let (udp, p) = UdpHeader::parse(ip_payload, ip.src, ip.dst)?;
+                (TransportHeader::Udp(udp), p)
+            }
+            other => (TransportHeader::Other(other), ip_payload),
+        };
+        Ok(ParsedPacket {
+            src_mac: eth.src,
+            dst_mac: eth.dst,
+            ip,
+            transport,
+            payload,
+        })
+    }
+}
+
+/// Builder assembling valid full frames for the traffic generator.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    identification: u16,
+    ttl: u8,
+}
+
+impl PacketBuilder {
+    /// Starts a builder for frames between the given endpoints.
+    pub fn new(src_mac: MacAddr, dst_mac: MacAddr, src_ip: Ipv4Addr, dst_ip: Ipv4Addr) -> Self {
+        PacketBuilder {
+            src_mac,
+            dst_mac,
+            src_ip,
+            dst_ip,
+            identification: 1,
+            ttl: 64,
+        }
+    }
+
+    /// Overrides the IP TTL (the simulator lowers it for frames that have
+    /// crossed the VPN tunnel).
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Builds a TCP segment frame.
+    pub fn tcp(
+        &mut self,
+        ts_micros: u64,
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        payload: &[u8],
+    ) -> Packet {
+        let tcp = TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: 65535,
+        };
+        let segment = tcp.encode(payload, self.src_ip, self.dst_ip);
+        self.frame(ts_micros, protocol::TCP, &segment)
+    }
+
+    /// Builds a UDP datagram frame.
+    pub fn udp(&mut self, ts_micros: u64, src_port: u16, dst_port: u16, payload: &[u8]) -> Packet {
+        let udp = UdpHeader { src_port, dst_port };
+        let datagram = udp.encode(payload, self.src_ip, self.dst_ip);
+        self.frame(ts_micros, protocol::UDP, &datagram)
+    }
+
+    fn frame(&mut self, ts_micros: u64, proto: u8, ip_payload: &[u8]) -> Packet {
+        let mut ip = Ipv4Header::for_payload(self.src_ip, self.dst_ip, proto, ip_payload.len());
+        ip.identification = self.identification;
+        ip.ttl = self.ttl;
+        self.identification = self.identification.wrapping_add(1);
+        let ip_bytes = ip.encode();
+        let mut frame = Vec::with_capacity(14 + ip_bytes.len() + ip_payload.len());
+        let eth = EthernetFrame {
+            dst: self.dst_mac,
+            src: self.src_mac,
+            ethertype: EtherType::Ipv4,
+            payload: &[],
+        };
+        frame.extend_from_slice(&eth.encode());
+        frame.extend_from_slice(&ip_bytes);
+        frame.extend_from_slice(ip_payload);
+        Packet::new(ts_micros, frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> PacketBuilder {
+        PacketBuilder::new(
+            MacAddr::new(0xa4, 0xcf, 0x12, 0, 0, 1),
+            MacAddr::new(0x00, 0x16, 0x3e, 0, 0, 2),
+            Ipv4Addr::new(192, 168, 10, 21),
+            Ipv4Addr::new(52, 84, 9, 9),
+        )
+    }
+
+    #[test]
+    fn tcp_frame_roundtrip() {
+        let mut b = builder();
+        let pkt = b.tcp(
+            1_000_000,
+            49152,
+            443,
+            7,
+            0,
+            TcpFlags::PSH | TcpFlags::ACK,
+            b"application bytes",
+        );
+        let parsed = pkt.parse().unwrap();
+        assert_eq!(parsed.src_mac, MacAddr::new(0xa4, 0xcf, 0x12, 0, 0, 1));
+        assert_eq!(parsed.ip.dst, Ipv4Addr::new(52, 84, 9, 9));
+        assert_eq!(parsed.transport.dst_port(), Some(443));
+        assert!(parsed.transport.is_tcp());
+        assert_eq!(parsed.payload, b"application bytes");
+        assert_eq!(pkt.ts_seconds(), 1.0);
+    }
+
+    #[test]
+    fn udp_frame_roundtrip() {
+        let mut b = builder();
+        let pkt = b.udp(42, 5353, 53, b"query");
+        let parsed = pkt.parse().unwrap();
+        assert_eq!(parsed.transport.src_port(), Some(5353));
+        assert_eq!(parsed.payload, b"query");
+    }
+
+    #[test]
+    fn identification_increments() {
+        let mut b = builder();
+        let p1 = b.udp(0, 1, 2, b"a");
+        let p2 = b.udp(1, 1, 2, b"a");
+        let id1 = p1.parse().unwrap().ip.identification;
+        let id2 = p2.parse().unwrap().ip.identification;
+        assert_eq!(id2, id1 + 1);
+    }
+
+    #[test]
+    fn ttl_override() {
+        let mut b = builder().ttl(50);
+        let pkt = b.udp(0, 1, 2, b"x");
+        assert_eq!(pkt.parse().unwrap().ip.ttl, 50);
+    }
+
+    #[test]
+    fn non_ip_frame_rejected_by_parse() {
+        let eth = EthernetFrame {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::new(1, 2, 3, 4, 5, 6),
+            ethertype: EtherType::Arp,
+            payload: &[0u8; 28],
+        };
+        let pkt = Packet::new(0, eth.encode());
+        assert!(pkt.parse().is_err());
+    }
+}

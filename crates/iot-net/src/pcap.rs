@@ -1,0 +1,251 @@
+//! Classic libpcap capture-file format (the format tcpdump writes).
+//!
+//! The Mon(IoT)r testbed stores one pcap file per device MAC, plus
+//! per-experiment label files. This module implements the classic
+//! microsecond-resolution format (magic `0xa1b2c3d4`) so simulated captures
+//! are byte-compatible with tcpdump output and can be exchanged with
+//! external tools.
+
+use crate::error::Error;
+use crate::packet::Packet;
+use crate::Result;
+use std::io::{Read, Write};
+
+/// Native-order magic for microsecond timestamps.
+pub const MAGIC_MICROS: u32 = 0xa1b2_c3d4;
+/// Byte-swapped magic (file written on an opposite-endian machine).
+pub const MAGIC_MICROS_SWAPPED: u32 = 0xd4c3_b2a1;
+/// Link type for Ethernet frames.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Global header length.
+pub const GLOBAL_HEADER_LEN: usize = 24;
+/// Per-record header length.
+pub const RECORD_HEADER_LEN: usize = 16;
+
+/// One record from a capture file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapRecord {
+    /// Seconds since the epoch.
+    pub ts_sec: u32,
+    /// Microseconds within the second.
+    pub ts_usec: u32,
+    /// Original length of the packet on the wire.
+    pub orig_len: u32,
+    /// Captured bytes (always the full frame here; no snaplen truncation).
+    pub data: Vec<u8>,
+}
+
+impl PcapRecord {
+    /// Timestamp in microseconds since the epoch.
+    pub fn ts_micros(&self) -> u64 {
+        u64::from(self.ts_sec) * 1_000_000 + u64::from(self.ts_usec)
+    }
+
+    /// Converts this record into an in-memory [`Packet`].
+    pub fn into_packet(self) -> Packet {
+        Packet::new(self.ts_micros(), self.data)
+    }
+}
+
+/// Streaming pcap writer.
+pub struct PcapWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Writes the global header and returns the writer.
+    pub fn new(mut inner: W) -> Result<Self> {
+        let mut hdr = [0u8; GLOBAL_HEADER_LEN];
+        hdr[0..4].copy_from_slice(&MAGIC_MICROS.to_le_bytes());
+        hdr[4..6].copy_from_slice(&2u16.to_le_bytes()); // version major
+        hdr[6..8].copy_from_slice(&4u16.to_le_bytes()); // version minor
+        // thiszone (4) and sigfigs (4) remain zero
+        hdr[16..20].copy_from_slice(&65535u32.to_le_bytes()); // snaplen
+        hdr[20..24].copy_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        inner.write_all(&hdr)?;
+        Ok(PcapWriter { inner })
+    }
+
+    /// Appends one packet.
+    pub fn write_packet(&mut self, pkt: &Packet) -> Result<()> {
+        let ts_sec = (pkt.ts_micros / 1_000_000) as u32;
+        let ts_usec = (pkt.ts_micros % 1_000_000) as u32;
+        let len = pkt.data.len() as u32;
+        let mut rec = [0u8; RECORD_HEADER_LEN];
+        rec[0..4].copy_from_slice(&ts_sec.to_le_bytes());
+        rec[4..8].copy_from_slice(&ts_usec.to_le_bytes());
+        rec[8..12].copy_from_slice(&len.to_le_bytes());
+        rec[12..16].copy_from_slice(&len.to_le_bytes());
+        self.inner.write_all(&rec)?;
+        self.inner.write_all(&pkt.data)?;
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Streaming pcap reader; handles both endiannesses.
+pub struct PcapReader<R: Read> {
+    inner: R,
+    swapped: bool,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Reads and validates the global header.
+    pub fn new(mut inner: R) -> Result<Self> {
+        let mut hdr = [0u8; GLOBAL_HEADER_LEN];
+        inner.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let swapped = match magic {
+            MAGIC_MICROS => false,
+            MAGIC_MICROS_SWAPPED => true,
+            other => return Err(Error::BadMagic(other)),
+        };
+        Ok(PcapReader { inner, swapped })
+    }
+
+    fn read_u32(&self, bytes: [u8; 4]) -> u32 {
+        if self.swapped {
+            u32::from_be_bytes(bytes)
+        } else {
+            u32::from_le_bytes(bytes)
+        }
+    }
+
+    /// Reads the next record; `Ok(None)` at clean end-of-file.
+    pub fn next_record(&mut self) -> Result<Option<PcapRecord>> {
+        let mut rec = [0u8; RECORD_HEADER_LEN];
+        match self.inner.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let ts_sec = self.read_u32([rec[0], rec[1], rec[2], rec[3]]);
+        let ts_usec = self.read_u32([rec[4], rec[5], rec[6], rec[7]]);
+        let incl_len = self.read_u32([rec[8], rec[9], rec[10], rec[11]]);
+        let orig_len = self.read_u32([rec[12], rec[13], rec[14], rec[15]]);
+        let mut data = vec![0u8; incl_len as usize];
+        self.inner.read_exact(&mut data)?;
+        Ok(Some(PcapRecord {
+            ts_sec,
+            ts_usec,
+            orig_len,
+            data,
+        }))
+    }
+
+    /// Collects all remaining records as [`Packet`]s.
+    pub fn packets(mut self) -> Result<Vec<Packet>> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_record()? {
+            out.push(rec.into_packet());
+        }
+        Ok(out)
+    }
+}
+
+/// Serializes packets to an in-memory pcap byte buffer.
+pub fn to_bytes(packets: &[Packet]) -> Result<Vec<u8>> {
+    let mut w = PcapWriter::new(Vec::new())?;
+    for p in packets {
+        w.write_packet(p)?;
+    }
+    w.finish()
+}
+
+/// Parses packets from an in-memory pcap byte buffer.
+pub fn from_bytes(bytes: &[u8]) -> Result<Vec<Packet>> {
+    PcapReader::new(bytes)?.packets()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::MacAddr;
+    use crate::packet::PacketBuilder;
+    use crate::tcp::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    fn sample_packets() -> Vec<Packet> {
+        let mut b = PacketBuilder::new(
+            MacAddr::new(1, 2, 3, 4, 5, 6),
+            MacAddr::new(6, 5, 4, 3, 2, 1),
+            Ipv4Addr::new(192, 168, 10, 2),
+            Ipv4Addr::new(93, 184, 216, 34),
+        );
+        vec![
+            b.tcp(1_500_000, 5000, 443, 1, 0, TcpFlags::SYN, &[]),
+            b.udp(2_250_000, 5001, 53, b"dns"),
+            b.tcp(90_000_000_000, 5000, 443, 2, 1, TcpFlags::ACK, b"data"),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let packets = sample_packets();
+        let bytes = to_bytes(&packets).unwrap();
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, packets);
+    }
+
+    #[test]
+    fn global_header_layout() {
+        let bytes = to_bytes(&[]).unwrap();
+        assert_eq!(bytes.len(), GLOBAL_HEADER_LEN);
+        assert_eq!(&bytes[0..4], &MAGIC_MICROS.to_le_bytes());
+        assert_eq!(u32::from_le_bytes(bytes[20..24].try_into().unwrap()), LINKTYPE_ETHERNET);
+    }
+
+    #[test]
+    fn swapped_endianness_readable() {
+        let packets = sample_packets();
+        let mut bytes = to_bytes(&packets).unwrap();
+        // Byte-swap every header field to emulate a big-endian writer.
+        bytes[0..4].copy_from_slice(&MAGIC_MICROS.to_be_bytes());
+        for field in [4usize, 6] {
+            bytes.swap(field, field + 1);
+        }
+        for field in [8usize, 12, 16, 20] {
+            bytes[field..field + 4].reverse();
+        }
+        let mut offset = GLOBAL_HEADER_LEN;
+        while offset < bytes.len() {
+            for field in 0..4 {
+                bytes[offset + field * 4..offset + field * 4 + 4].reverse();
+            }
+            let incl = u32::from_be_bytes(bytes[offset + 8..offset + 12].try_into().unwrap());
+            offset += RECORD_HEADER_LEN + incl as usize;
+        }
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, packets);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = to_bytes(&[]).unwrap();
+        bytes[0] = 0x00;
+        assert!(matches!(from_bytes(&bytes), Err(Error::BadMagic(_))));
+    }
+
+    #[test]
+    fn truncated_record_is_io_error() {
+        let packets = sample_packets();
+        let bytes = to_bytes(&packets).unwrap();
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(matches!(from_bytes(cut), Err(Error::Io(_))));
+    }
+
+    #[test]
+    fn timestamps_preserved_to_microsecond() {
+        let packets = sample_packets();
+        let bytes = to_bytes(&packets).unwrap();
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back[0].ts_micros, 1_500_000);
+        assert_eq!(back[1].ts_micros, 2_250_000);
+        assert_eq!(back[2].ts_micros, 90_000_000_000);
+    }
+}

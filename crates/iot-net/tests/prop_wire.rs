@@ -1,0 +1,146 @@
+//! Property-based tests for wire-format invariants: every frame the builder
+//! produces must parse back to exactly what was requested, checksums must
+//! detect single-bit corruption, and pcap round-trips must be lossless.
+
+use iot_net::checksum::checksum;
+use iot_net::mac::MacAddr;
+use iot_net::packet::{PacketBuilder, TransportHeader};
+use iot_net::pcap;
+use iot_net::tcp::TcpFlags;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_public_ip() -> impl Strategy<Value = Ipv4Addr> {
+    (1u8..=223, any::<u8>(), any::<u8>(), 1u8..=254)
+        .prop_filter("not in 192.168/16", |(a, b, _, _)| !(*a == 192 && *b == 168))
+        .prop_map(|(a, b, c, d)| Ipv4Addr::new(a, b, c, d))
+}
+
+fn arb_local_ip() -> impl Strategy<Value = Ipv4Addr> {
+    (2u8..=254).prop_map(|d| Ipv4Addr::new(192, 168, 10, d))
+}
+
+proptest! {
+    #[test]
+    fn tcp_build_parse_roundtrip(
+        src_mac in arb_mac(),
+        dst_mac in arb_mac(),
+        src_ip in arb_local_ip(),
+        dst_ip in arb_public_ip(),
+        sport in 1024u16..,
+        dport in 1u16..,
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1500),
+        ts in any::<u32>().prop_map(u64::from),
+    ) {
+        let mut b = PacketBuilder::new(src_mac, dst_mac, src_ip, dst_ip);
+        let pkt = b.tcp(ts, sport, dport, seq, ack, TcpFlags::PSH | TcpFlags::ACK, &payload);
+        let parsed = pkt.parse().unwrap();
+        prop_assert_eq!(parsed.src_mac, src_mac);
+        prop_assert_eq!(parsed.dst_mac, dst_mac);
+        prop_assert_eq!(parsed.ip.src, src_ip);
+        prop_assert_eq!(parsed.ip.dst, dst_ip);
+        prop_assert_eq!(parsed.payload, &payload[..]);
+        match parsed.transport {
+            TransportHeader::Tcp(t) => {
+                prop_assert_eq!(t.src_port, sport);
+                prop_assert_eq!(t.dst_port, dport);
+                prop_assert_eq!(t.seq, seq);
+                prop_assert_eq!(t.ack, ack);
+            }
+            other => prop_assert!(false, "expected TCP, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn udp_build_parse_roundtrip(
+        src_ip in arb_local_ip(),
+        dst_ip in arb_public_ip(),
+        sport in 1024u16..,
+        dport in 1u16..,
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let mut b = PacketBuilder::new(
+            MacAddr::new(0, 1, 2, 3, 4, 5),
+            MacAddr::new(9, 8, 7, 6, 5, 4),
+            src_ip,
+            dst_ip,
+        );
+        let pkt = b.udp(0, sport, dport, &payload);
+        let parsed = pkt.parse().unwrap();
+        prop_assert_eq!(parsed.payload, &payload[..]);
+        prop_assert_eq!(parsed.transport.src_port(), Some(sport));
+        prop_assert_eq!(parsed.transport.dst_port(), Some(dport));
+    }
+
+    /// Flipping any single bit of a built TCP frame must make parsing fail
+    /// (checksum or structural error) or change the parsed content — never
+    /// silently parse to the same packet.
+    #[test]
+    fn single_bit_corruption_never_silent(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        bit in 0usize..128,
+    ) {
+        let mut b = PacketBuilder::new(
+            MacAddr::new(0, 1, 2, 3, 4, 5),
+            MacAddr::new(9, 8, 7, 6, 5, 4),
+            Ipv4Addr::new(192, 168, 10, 4),
+            Ipv4Addr::new(8, 8, 4, 4),
+        );
+        let pkt = b.tcp(0, 40000, 443, 1, 2, TcpFlags::ACK, &payload);
+        let mut bytes = pkt.data.to_vec();
+        let bit = bit % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let original = pkt.parse().unwrap();
+        match iot_net::packet::ParsedPacket::parse(&bytes) {
+            Err(_) => {}
+            Ok(parsed) => prop_assert_ne!(parsed, original),
+        }
+    }
+
+    #[test]
+    fn checksum_verification_property(data in proptest::collection::vec(any::<u8>(), 2..512)) {
+        // Filling the checksum into any even-offset 2-byte hole makes the
+        // whole buffer sum to zero.
+        let mut data = data;
+        if data.len() % 2 == 1 { data.push(0); }
+        data[0] = 0; data[1] = 0;
+        let ck = checksum(&data);
+        data[0..2].copy_from_slice(&ck.to_be_bytes());
+        prop_assert_eq!(checksum(&data), 0);
+    }
+
+    #[test]
+    fn pcap_roundtrip_lossless(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..800), 1..20),
+        base_ts in any::<u32>().prop_map(u64::from),
+    ) {
+        let mut b = PacketBuilder::new(
+            MacAddr::new(1, 1, 1, 1, 1, 1),
+            MacAddr::new(2, 2, 2, 2, 2, 2),
+            Ipv4Addr::new(192, 168, 10, 9),
+            Ipv4Addr::new(93, 184, 216, 34),
+        );
+        let packets: Vec<_> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| b.udp(base_ts + i as u64 * 1000, 40000, 53, p))
+            .collect();
+        let bytes = pcap::to_bytes(&packets).unwrap();
+        let back = pcap::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, packets);
+    }
+
+    #[test]
+    fn mac_parse_roundtrips_all_formats(octets in any::<[u8; 6]>()) {
+        let mac = MacAddr(octets);
+        prop_assert_eq!(mac.to_string().parse::<MacAddr>().unwrap(), mac);
+        prop_assert_eq!(mac.to_hyphen_string().parse::<MacAddr>().unwrap(), mac);
+        prop_assert_eq!(mac.to_bare_string().parse::<MacAddr>().unwrap(), mac);
+    }
+}

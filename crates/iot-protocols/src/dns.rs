@@ -1,0 +1,446 @@
+//! DNS message encoding and decoding (RFC 1035).
+//!
+//! The destination analysis (§4.1) labels an IP address with the second
+//! level domain of the DNS lookup that produced it, so the pipeline needs a
+//! faithful DNS codec: the simulated devices emit real query/response
+//! messages and the analyzer decodes them, including compression pointers
+//! in responses.
+
+use crate::error::ProtoError;
+use crate::Result;
+use std::net::Ipv4Addr;
+
+/// Standard DNS port.
+pub const PORT: u16 = 53;
+
+/// Query/record types this codec understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordType {
+    /// IPv4 address record.
+    A,
+    /// Canonical name record.
+    Cname,
+    /// IPv6 address record (recognized; rdata kept raw).
+    Aaaa,
+    /// Anything else, preserved by value.
+    Other(u16),
+}
+
+impl From<u16> for RecordType {
+    fn from(v: u16) -> Self {
+        match v {
+            1 => RecordType::A,
+            5 => RecordType::Cname,
+            28 => RecordType::Aaaa,
+            other => RecordType::Other(other),
+        }
+    }
+}
+
+impl From<RecordType> for u16 {
+    fn from(t: RecordType) -> u16 {
+        match t {
+            RecordType::A => 1,
+            RecordType::Cname => 5,
+            RecordType::Aaaa => 28,
+            RecordType::Other(v) => v,
+        }
+    }
+}
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Queried name, lowercase, without trailing dot.
+    pub name: String,
+    /// Query type.
+    pub qtype: RecordType,
+}
+
+/// Resource-record data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RData {
+    /// An IPv4 address.
+    A(Ipv4Addr),
+    /// A canonical-name target.
+    Cname(String),
+    /// Uninterpreted bytes for other record types.
+    Raw(Vec<u8>),
+}
+
+/// An answer/authority/additional resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceRecord {
+    /// Record owner name.
+    pub name: String,
+    /// Record type.
+    pub rtype: RecordType,
+    /// Time to live in seconds.
+    pub ttl: u32,
+    /// Record data.
+    pub rdata: RData,
+}
+
+/// A DNS message (query or response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction id.
+    pub id: u16,
+    /// True for responses (QR bit).
+    pub is_response: bool,
+    /// Recursion desired.
+    pub recursion_desired: bool,
+    /// Response code (0 = NOERROR, 3 = NXDOMAIN).
+    pub rcode: u8,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<ResourceRecord>,
+}
+
+impl Message {
+    /// Builds a standard recursive A query.
+    pub fn query(id: u16, name: &str) -> Self {
+        Message {
+            id,
+            is_response: false,
+            recursion_desired: true,
+            rcode: 0,
+            questions: vec![Question {
+                name: name.to_ascii_lowercase(),
+                qtype: RecordType::A,
+            }],
+            answers: Vec::new(),
+        }
+    }
+
+    /// Builds a response answering `query` with the given addresses.
+    pub fn answer(query: &Message, addrs: &[Ipv4Addr], ttl: u32) -> Self {
+        let name = query
+            .questions
+            .first()
+            .map(|q| q.name.clone())
+            .unwrap_or_default();
+        Message {
+            id: query.id,
+            is_response: true,
+            recursion_desired: true,
+            rcode: 0,
+            questions: query.questions.clone(),
+            answers: addrs
+                .iter()
+                .map(|a| ResourceRecord {
+                    name: name.clone(),
+                    rtype: RecordType::A,
+                    ttl,
+                    rdata: RData::A(*a),
+                })
+                .collect(),
+        }
+    }
+
+    /// Returns all A-record addresses in the answer section.
+    pub fn a_records(&self) -> impl Iterator<Item = (&str, Ipv4Addr)> {
+        self.answers.iter().filter_map(|rr| match &rr.rdata {
+            RData::A(addr) => Some((rr.name.as_str(), *addr)),
+            _ => None,
+        })
+    }
+
+    /// Encodes to wire format. Names are emitted uncompressed.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        let mut flags: u16 = 0;
+        if self.is_response {
+            flags |= 0x8000;
+        }
+        if self.recursion_desired {
+            flags |= 0x0100;
+        }
+        if self.is_response {
+            flags |= 0x0080; // recursion available
+        }
+        flags |= u16::from(self.rcode & 0x0f);
+        out.extend_from_slice(&flags.to_be_bytes());
+        out.extend_from_slice(&(self.questions.len() as u16).to_be_bytes());
+        out.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes()); // NSCOUNT
+        out.extend_from_slice(&0u16.to_be_bytes()); // ARCOUNT
+        for q in &self.questions {
+            encode_name(&mut out, &q.name);
+            out.extend_from_slice(&u16::from(q.qtype).to_be_bytes());
+            out.extend_from_slice(&1u16.to_be_bytes()); // IN
+        }
+        for rr in &self.answers {
+            encode_name(&mut out, &rr.name);
+            out.extend_from_slice(&u16::from(rr.rtype).to_be_bytes());
+            out.extend_from_slice(&1u16.to_be_bytes());
+            out.extend_from_slice(&rr.ttl.to_be_bytes());
+            match &rr.rdata {
+                RData::A(addr) => {
+                    out.extend_from_slice(&4u16.to_be_bytes());
+                    out.extend_from_slice(&addr.octets());
+                }
+                RData::Cname(target) => {
+                    let mut name_bytes = Vec::new();
+                    encode_name(&mut name_bytes, target);
+                    out.extend_from_slice(&(name_bytes.len() as u16).to_be_bytes());
+                    out.extend_from_slice(&name_bytes);
+                }
+                RData::Raw(bytes) => {
+                    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+                    out.extend_from_slice(bytes);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a message from wire format, following compression pointers.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < 12 {
+            return Err(ProtoError::truncated("dns", "header"));
+        }
+        let id = u16::from_be_bytes([data[0], data[1]]);
+        let flags = u16::from_be_bytes([data[2], data[3]]);
+        let qdcount = u16::from_be_bytes([data[4], data[5]]);
+        let ancount = u16::from_be_bytes([data[6], data[7]]);
+        let mut offset = 12usize;
+        let mut questions = Vec::with_capacity(qdcount as usize);
+        for _ in 0..qdcount {
+            let (name, next) = decode_name(data, offset)?;
+            if data.len() < next + 4 {
+                return Err(ProtoError::truncated("dns", "question"));
+            }
+            let qtype = u16::from_be_bytes([data[next], data[next + 1]]).into();
+            offset = next + 4;
+            questions.push(Question { name, qtype });
+        }
+        let mut answers = Vec::with_capacity(ancount as usize);
+        for _ in 0..ancount {
+            let (name, next) = decode_name(data, offset)?;
+            if data.len() < next + 10 {
+                return Err(ProtoError::truncated("dns", "resource record"));
+            }
+            let rtype: RecordType = u16::from_be_bytes([data[next], data[next + 1]]).into();
+            let ttl = u32::from_be_bytes([
+                data[next + 4],
+                data[next + 5],
+                data[next + 6],
+                data[next + 7],
+            ]);
+            let rdlen = usize::from(u16::from_be_bytes([data[next + 8], data[next + 9]]));
+            let rdata_start = next + 10;
+            if data.len() < rdata_start + rdlen {
+                return Err(ProtoError::truncated("dns", "rdata"));
+            }
+            let rdata_bytes = &data[rdata_start..rdata_start + rdlen];
+            let rdata = match rtype {
+                RecordType::A => {
+                    if rdlen != 4 {
+                        return Err(ProtoError::malformed("dns", "A rdata length"));
+                    }
+                    RData::A(Ipv4Addr::new(
+                        rdata_bytes[0],
+                        rdata_bytes[1],
+                        rdata_bytes[2],
+                        rdata_bytes[3],
+                    ))
+                }
+                RecordType::Cname => {
+                    let (target, _) = decode_name(data, rdata_start)?;
+                    RData::Cname(target)
+                }
+                _ => RData::Raw(rdata_bytes.to_vec()),
+            };
+            offset = rdata_start + rdlen;
+            answers.push(ResourceRecord {
+                name,
+                rtype,
+                ttl,
+                rdata,
+            });
+        }
+        Ok(Message {
+            id,
+            is_response: flags & 0x8000 != 0,
+            recursion_desired: flags & 0x0100 != 0,
+            rcode: (flags & 0x000f) as u8,
+            questions,
+            answers,
+        })
+    }
+}
+
+/// Encodes a domain name as length-prefixed labels.
+fn encode_name(out: &mut Vec<u8>, name: &str) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        let bytes = label.as_bytes();
+        out.push(bytes.len().min(63) as u8);
+        out.extend_from_slice(&bytes[..bytes.len().min(63)]);
+    }
+    out.push(0);
+}
+
+/// Decodes a (possibly compressed) domain name starting at `offset`.
+/// Returns the name and the offset just past it in the *original* stream.
+fn decode_name(data: &[u8], mut offset: usize) -> Result<(String, usize)> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut jumped = false;
+    let mut end_offset = offset;
+    let mut hops = 0usize;
+    loop {
+        if hops > 64 {
+            return Err(ProtoError::malformed("dns", "compression loop"));
+        }
+        let len = *data
+            .get(offset)
+            .ok_or_else(|| ProtoError::truncated("dns", "name"))? as usize;
+        if len == 0 {
+            if !jumped {
+                end_offset = offset + 1;
+            }
+            break;
+        }
+        if len & 0xc0 == 0xc0 {
+            let lo = *data
+                .get(offset + 1)
+                .ok_or_else(|| ProtoError::truncated("dns", "compression pointer"))?
+                as usize;
+            if !jumped {
+                end_offset = offset + 2;
+            }
+            offset = ((len & 0x3f) << 8) | lo;
+            jumped = true;
+            hops += 1;
+            continue;
+        }
+        if len > 63 {
+            return Err(ProtoError::malformed("dns", format!("label length {len}")));
+        }
+        let start = offset + 1;
+        let bytes = data
+            .get(start..start + len)
+            .ok_or_else(|| ProtoError::truncated("dns", "label"))?;
+        labels.push(String::from_utf8_lossy(bytes).to_ascii_lowercase());
+        offset = start + len;
+        if !jumped {
+            end_offset = offset + 1; // provisional; fixed when the 0 byte is hit
+        }
+        hops += 1;
+    }
+    Ok((labels.join("."), end_offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let q = Message::query(0x1234, "Echo.Amazon.com");
+        let bytes = q.encode();
+        let parsed = Message::parse(&bytes).unwrap();
+        assert_eq!(parsed.id, 0x1234);
+        assert!(!parsed.is_response);
+        assert_eq!(parsed.questions[0].name, "echo.amazon.com");
+        assert_eq!(parsed.questions[0].qtype, RecordType::A);
+    }
+
+    #[test]
+    fn answer_roundtrip() {
+        let q = Message::query(7, "device.tuyaus.com");
+        let a = Message::answer(&q, &[Ipv4Addr::new(47, 89, 1, 2), Ipv4Addr::new(47, 89, 1, 3)], 300);
+        let bytes = a.encode();
+        let parsed = Message::parse(&bytes).unwrap();
+        assert!(parsed.is_response);
+        assert_eq!(parsed.id, 7);
+        let records: Vec<_> = parsed.a_records().collect();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], ("device.tuyaus.com", Ipv4Addr::new(47, 89, 1, 2)));
+        assert_eq!(parsed.answers[0].ttl, 300);
+    }
+
+    #[test]
+    fn cname_roundtrip() {
+        let mut msg = Message::query(1, "www.nest.com");
+        msg.is_response = true;
+        msg.answers.push(ResourceRecord {
+            name: "www.nest.com".into(),
+            rtype: RecordType::Cname,
+            ttl: 60,
+            rdata: RData::Cname("frontdoor.nest.com".into()),
+        });
+        msg.answers.push(ResourceRecord {
+            name: "frontdoor.nest.com".into(),
+            rtype: RecordType::A,
+            ttl: 60,
+            rdata: RData::A(Ipv4Addr::new(35, 1, 1, 1)),
+        });
+        let parsed = Message::parse(&msg.encode()).unwrap();
+        assert_eq!(parsed.answers[0].rdata, RData::Cname("frontdoor.nest.com".into()));
+    }
+
+    #[test]
+    fn compression_pointer_decoded() {
+        // Hand-built response: question "a.example.com", answer name is a
+        // pointer back to the question name at offset 12.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0x0042u16.to_be_bytes()); // id
+        bytes.extend_from_slice(&0x8180u16.to_be_bytes()); // response flags
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // qdcount
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // ancount
+        bytes.extend_from_slice(&0u16.to_be_bytes());
+        bytes.extend_from_slice(&0u16.to_be_bytes());
+        // question name at offset 12
+        bytes.push(1);
+        bytes.extend_from_slice(b"a");
+        bytes.push(7);
+        bytes.extend_from_slice(b"example");
+        bytes.push(3);
+        bytes.extend_from_slice(b"com");
+        bytes.push(0);
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // qtype A
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        // answer: pointer to offset 12
+        bytes.extend_from_slice(&[0xc0, 0x0c]);
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // type A
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        bytes.extend_from_slice(&120u32.to_be_bytes()); // ttl
+        bytes.extend_from_slice(&4u16.to_be_bytes()); // rdlen
+        bytes.extend_from_slice(&[93, 184, 216, 34]);
+        let parsed = Message::parse(&bytes).unwrap();
+        assert_eq!(parsed.answers[0].name, "a.example.com");
+        assert_eq!(
+            parsed.answers[0].rdata,
+            RData::A(Ipv4Addr::new(93, 184, 216, 34))
+        );
+    }
+
+    #[test]
+    fn compression_loop_rejected() {
+        let mut bytes = vec![0u8; 12];
+        bytes[5] = 1; // one question
+        bytes.extend_from_slice(&[0xc0, 0x0c]); // pointer to itself
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        assert!(Message::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(Message::parse(&[0u8; 5]).is_err());
+        let q = Message::query(9, "x.com").encode();
+        assert!(Message::parse(&q[..q.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn nxdomain_rcode_roundtrip() {
+        let mut m = Message::query(3, "missing.example");
+        m.is_response = true;
+        m.rcode = 3;
+        let parsed = Message::parse(&m.encode()).unwrap();
+        assert_eq!(parsed.rcode, 3);
+    }
+}

@@ -1,0 +1,254 @@
+//! On-disk capture layout, mirroring the Mon(IoT)r testbed's data format:
+//! one pcap per device MAC plus per-experiment label files describing
+//! which packets belong to which labeled interaction (§3.2 "Data
+//! collection": "different files for each MAC address … labels (stored in
+//! additional pcap files) to isolate the traffic produced during specific
+//! interactions").
+//!
+//! ```text
+//! <root>/<lab>/<device-id>/
+//!     capture.pcap            # everything the gateway saw from this MAC
+//!     labels.tsv              # start_us \t end_us \t label \t rep
+//! ```
+//!
+//! Captures written here round-trip through the byte-exact pcap layer, so
+//! external tools (tcpdump, Wireshark, the authors' own analysis scripts)
+//! can consume them directly.
+
+use crate::experiment::LabeledExperiment;
+use crate::lab::LabSite;
+use iot_net::packet::Packet;
+use iot_net::pcap::{PcapReader, PcapWriter};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// One label row: a time range of the device's capture tagged with the
+/// experiment label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelSpan {
+    /// First packet timestamp (µs).
+    pub start_micros: u64,
+    /// Last packet timestamp (µs).
+    pub end_micros: u64,
+    /// Experiment label (e.g. `android_wan_on`).
+    pub label: String,
+    /// Repetition index.
+    pub rep: u32,
+}
+
+/// Accumulates experiments for one deployment and writes the on-disk
+/// layout.
+#[derive(Debug, Default)]
+pub struct CaptureStore {
+    /// (lab, device-id) → time-ordered packets.
+    packets: BTreeMap<(LabSite, String), Vec<Packet>>,
+    /// (lab, device-id) → labels.
+    labels: BTreeMap<(LabSite, String), Vec<LabelSpan>>,
+    /// Running clock per device so consecutive experiments do not overlap.
+    clock: BTreeMap<(LabSite, String), u64>,
+}
+
+/// Gap inserted between appended experiments (µs).
+const EXPERIMENT_GAP: u64 = 30_000_000;
+
+impl CaptureStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one experiment's capture, shifting its timestamps onto the
+    /// device's running clock (experiments are generated starting at t≈0).
+    pub fn append(&mut self, exp: &LabeledExperiment) {
+        let device_id = crate::catalog::by_name(exp.device_name)
+            .map(|s| s.id())
+            .unwrap_or_else(|| exp.device_name.to_ascii_lowercase());
+        let key = (exp.site, device_id);
+        let base = *self.clock.get(&key).unwrap_or(&0);
+        let mut end = base;
+        let shifted: Vec<Packet> = exp
+            .packets
+            .iter()
+            .map(|p| {
+                let ts = base + p.ts_micros;
+                end = end.max(ts);
+                Packet::new(ts, p.data.clone())
+            })
+            .collect();
+        if let Some(first) = shifted.first() {
+            self.labels.entry(key.clone()).or_default().push(LabelSpan {
+                start_micros: first.ts_micros,
+                end_micros: end,
+                label: exp.label.clone(),
+                rep: exp.rep,
+            });
+        }
+        self.packets.entry(key.clone()).or_default().extend(shifted);
+        self.clock.insert(key, end + EXPERIMENT_GAP);
+    }
+
+    /// Devices stored, as (lab, device-id) pairs.
+    pub fn devices(&self) -> impl Iterator<Item = &(LabSite, String)> {
+        self.packets.keys()
+    }
+
+    /// Writes the Mon(IoT)r-style directory under `root`; returns the
+    /// paths written.
+    pub fn write_to(&self, root: &Path) -> std::io::Result<Vec<PathBuf>> {
+        let mut written = Vec::new();
+        for ((site, device_id), packets) in &self.packets {
+            let dir = root.join(site.name().to_lowercase()).join(device_id);
+            std::fs::create_dir_all(&dir)?;
+            let pcap_path = dir.join("capture.pcap");
+            let mut writer = PcapWriter::new(BufWriter::new(File::create(&pcap_path)?))
+                .map_err(io_err)?;
+            for p in packets {
+                writer.write_packet(p).map_err(io_err)?;
+            }
+            writer.finish().map_err(io_err)?.flush()?;
+            written.push(pcap_path);
+
+            let labels_path = dir.join("labels.tsv");
+            let mut f = BufWriter::new(File::create(&labels_path)?);
+            writeln!(f, "# start_us\tend_us\tlabel\trep")?;
+            for span in self.labels.get(&(*site, device_id.clone())).into_iter().flatten() {
+                writeln!(
+                    f,
+                    "{}\t{}\t{}\t{}",
+                    span.start_micros, span.end_micros, span.label, span.rep
+                )?;
+            }
+            f.flush()?;
+            written.push(labels_path);
+        }
+        Ok(written)
+    }
+}
+
+fn io_err(e: iot_net::Error) -> std::io::Error {
+    std::io::Error::other(e.to_string())
+}
+
+/// Reads a device directory back into (packets, labels).
+pub fn read_device_dir(dir: &Path) -> std::io::Result<(Vec<Packet>, Vec<LabelSpan>)> {
+    let reader =
+        PcapReader::new(BufReader::new(File::open(dir.join("capture.pcap"))?)).map_err(io_err)?;
+    let packets = reader.packets().map_err(io_err)?;
+    let mut labels = Vec::new();
+    let f = BufReader::new(File::open(dir.join("labels.tsv"))?);
+    for line in f.lines() {
+        let line = line?;
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let parse = |s: Option<&str>| -> std::io::Result<u64> {
+            s.and_then(|v| v.parse().ok())
+                .ok_or_else(|| std::io::Error::other(format!("bad label row: {line:?}")))
+        };
+        let start_micros = parse(cols.next())?;
+        let end_micros = parse(cols.next())?;
+        let label = cols
+            .next()
+            .ok_or_else(|| std::io::Error::other("missing label"))?
+            .to_string();
+        let rep = parse(cols.next())? as u32;
+        labels.push(LabelSpan {
+            start_micros,
+            end_micros,
+            label,
+            rep,
+        });
+    }
+    Ok((packets, labels))
+}
+
+/// Slices a capture by a label span (inclusive bounds), the read-side
+/// counterpart of the testbed's label isolation.
+pub fn slice_by_label<'a>(packets: &'a [Packet], span: &LabelSpan) -> &'a [Packet] {
+    let start = packets.partition_point(|p| p.ts_micros < span.start_micros);
+    let end = packets.partition_point(|p| p.ts_micros <= span.end_micros);
+    &packets[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_interaction, run_power};
+    use crate::lab::Lab;
+    use iot_geodb::registry::GeoDb;
+
+    fn store_with_experiments() -> (CaptureStore, Vec<LabeledExperiment>) {
+        let db = GeoDb::new();
+        let lab = Lab::deploy(LabSite::Us);
+        let dev = lab.device("TP-Link Plug").unwrap();
+        let mut store = CaptureStore::new();
+        let mut exps = vec![run_power(&db, dev, false, 0, 0)];
+        let spec = dev.spec();
+        let act = spec.activity("on").unwrap();
+        exps.push(run_interaction(&db, dev, act, act.methods[0], false, 0, 0));
+        exps.push(run_interaction(&db, dev, act, act.methods[0], false, 1, 0));
+        for e in &exps {
+            store.append(e);
+        }
+        (store, exps)
+    }
+
+    #[test]
+    fn append_shifts_clock_monotonically() {
+        let (store, exps) = store_with_experiments();
+        let key = (LabSite::Us, "tp-link-plug".to_string());
+        let packets = &store.packets[&key];
+        for w in packets.windows(2) {
+            assert!(w[0].ts_micros <= w[1].ts_micros);
+        }
+        assert_eq!(
+            packets.len(),
+            exps.iter().map(|e| e.packets.len()).sum::<usize>()
+        );
+        let labels = &store.labels[&key];
+        assert_eq!(labels.len(), 3);
+        assert_eq!(labels[0].label, "power");
+        // Labels do not overlap.
+        for w in labels.windows(2) {
+            assert!(w[0].end_micros < w[1].start_micros);
+        }
+    }
+
+    #[test]
+    fn disk_roundtrip_and_label_slicing() {
+        let (store, exps) = store_with_experiments();
+        let dir = std::env::temp_dir().join(format!("intl-iot-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = store.write_to(&dir).unwrap();
+        assert_eq!(written.len(), 2, "pcap + labels for one device");
+
+        let device_dir = dir.join("us").join("tp-link-plug");
+        let (packets, labels) = read_device_dir(&device_dir).unwrap();
+        assert_eq!(labels.len(), 3);
+        // Each label slice contains exactly its experiment's packets.
+        for (span, exp) in labels.iter().zip(&exps) {
+            let slice = slice_by_label(&packets, span);
+            assert_eq!(slice.len(), exp.packets.len(), "{}", span.label);
+            // Payload bytes survive the disk round-trip.
+            assert_eq!(slice[0].data, exp.packets[0].data);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let (store, _) = store_with_experiments();
+        let key = (LabSite::Us, "tp-link-plug".to_string());
+        let packets = &store.packets[&key];
+        let empty = LabelSpan {
+            start_micros: u64::MAX - 1,
+            end_micros: u64::MAX,
+            label: "none".into(),
+            rep: 0,
+        };
+        assert!(slice_by_label(packets, &empty).is_empty());
+    }
+}

@@ -1,0 +1,390 @@
+//! Appliance models (Table 1, "Appliances" column).
+//!
+//! Large appliances are the devices "usually ignored due to their size and
+//! cost" that this study deliberately includes (§8). The Samsung washer
+//! and dryer are plaintext offenders (Table 7: ~28% unencrypted), the
+//! Samsung fridge leaks its MAC to EC2 (§6.2), and the US Xiaomi rice
+//! cooker switches from Alibaba to Kingsoft when egressing via VPN (§4.3).
+
+use crate::device::*;
+use iot_geodb::geo::Region;
+
+use super::{actuation, tweak, video_burst, voice};
+use ActivityKind::*;
+use Availability::*;
+use Category::Appliance;
+use InteractionMethod::*;
+
+const LOCAL: &[InteractionMethod] = &[Local];
+const APPS: &[InteractionMethod] = &[LanApp, WanApp];
+const WAN: &[InteractionMethod] = &[WanApp];
+
+/// A plaintext status-reporting flight used by the Samsung laundry pair.
+fn plaintext_status(endpoint: usize) -> Flight {
+    Flight {
+        endpoint,
+        out_packets: (4, 9),
+        out_size: (200, 500),
+        in_packets: (2, 5),
+        in_size: (100, 250),
+        iat_ms: (30.0, 120.0),
+        payload: PayloadKind::Telemetry,
+    }
+}
+
+/// The laundry pair's encrypted cloud session, sized so that the plaintext
+/// channel lands near the paper's ~28% unencrypted share (Table 7).
+fn laundry_tls(endpoint: usize) -> Flight {
+    Flight {
+        endpoint,
+        out_packets: (6, 12),
+        out_size: (250, 600),
+        in_packets: (6, 12),
+        in_size: (250, 600),
+        iat_ms: (15.0, 60.0),
+        payload: PayloadKind::Ciphertext,
+    }
+}
+
+pub(super) fn devices() -> Vec<DeviceSpec> {
+    vec![
+        // ——— Common devices ———
+        DeviceSpec {
+            name: "Anova Sousvide",
+            category: Appliance,
+            availability: Both,
+            manufacturer_org: "Anova",
+            oui: [0x54, 0x2c, 0xab],
+            endpoints: vec![
+                Endpoint::tls("api.anovaculinary.com"),
+                Endpoint {
+                    host: "pubsub.anovaculinary.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::Mqtt,
+                    egress_filter: None,
+                },
+                Endpoint::tls("anova-iot.us-east-1.amazonaws.com"),
+            ],
+            power_flights: vec![Flight::control(0), Flight::control(2)],
+            activities: vec![
+                {
+                    let mut a = actuation("start", 1, PayloadKind::MixedProprietary, APPS);
+                    a.flights.push(Flight {
+                        endpoint: 1,
+                        out_packets: (6, 14),
+                        out_size: (180, 550),
+                        in_packets: (4, 10),
+                        in_size: (150, 450),
+                        iat_ms: (25.0, 100.0),
+                        payload: PayloadKind::MixedProprietary,
+                    });
+                    a
+                },
+                actuation("stop", 1, PayloadKind::MixedProprietary, APPS),
+                tweak("temperature", 1, PayloadKind::MixedProprietary, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                // Table 11: 65 idle "power" detections in the UK — flaky
+                // Wi-Fi association confirmed via DHCP logs (§7.2).
+                reconnects_per_hour: 1.8,
+                spontaneous: &[],
+                keepalives_per_hour: 4.0,
+            },
+        },
+        DeviceSpec {
+            name: "Netatmo Weather",
+            category: Appliance,
+            availability: Both,
+            manufacturer_org: "Netatmo",
+            oui: [0x70, 0xee, 0x50],
+            endpoints: vec![
+                Endpoint::tls("api.netatmo.net"),
+                Endpoint::http("upload.netatmo.com"),
+                Endpoint::tls("netatmo-sync.eu-west-1.amazonaws.com"),
+            ],
+            power_flights: vec![Flight::control(0), Flight::control(2)],
+            activities: vec![
+                {
+                    let mut a = tweak("graphs", 0, PayloadKind::Ciphertext, WAN);
+                    a.flights[0].in_packets = (10, 25);
+                    a.flights[0].in_size = (500, 1200);
+                    a
+                },
+                {
+                    let mut a = tweak("measure", 1, PayloadKind::Telemetry, LOCAL);
+                    a.flights[0].out_packets = (3, 7);
+                    a
+                },
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                keepalives_per_hour: 7.0,
+                spontaneous: &[("measure", 6.0)],
+                ..IdleBehavior::default()
+            },
+        },
+        // ——— US-only devices ———
+        DeviceSpec {
+            name: "Samsung Fridge",
+            category: Appliance,
+            availability: UsOnly,
+            manufacturer_org: "Samsung",
+            oui: [0x8c, 0xea, 0x49],
+            endpoints: vec![
+                Endpoint::tls("api.samsungcloud.com"),
+                // §6.2: "the Samsung Fridge sending MAC addresses
+                // unencrypted to an EC2 domain".
+                Endpoint::http("fridge-checkin.us-east-1.amazonaws.com"),
+                Endpoint::tls("voice.samsungcloudsolution.com"),
+            ],
+            power_flights: vec![Flight::control(0), plaintext_status(1)],
+            activities: vec![
+                video_burst("viewinside", Video, 2, (8, 16), (600, 1200), PayloadKind::Ciphertext, APPS),
+                voice(2, 0.7, LOCAL),
+                tweak("volume", 2, PayloadKind::Ciphertext, LOCAL),
+                tweak("temperature", 0, PayloadKind::Ciphertext, APPS),
+                {
+                    let mut a = tweak("dooropen", 0, PayloadKind::Ciphertext, LOCAL);
+                    a.flights[0].out_packets = (2, 4);
+                    a
+                },
+            ],
+            pii_leaks: vec![PiiLeak {
+                endpoint: 1,
+                kind: PiiKind::MacAddress,
+                encoding: PiiEncoding::Plain,
+                trigger: PiiTrigger::OnPower,
+                site_filter: None,
+            }],
+            idle: IdleBehavior {
+                spontaneous: &[("voice", 0.2), ("viewinside", 0.1)],
+                keepalives_per_hour: 10.0,
+                ..IdleBehavior::default()
+            },
+        },
+        DeviceSpec {
+            name: "Samsung Washer",
+            category: Appliance,
+            availability: UsOnly,
+            manufacturer_org: "Samsung",
+            oui: [0x8c, 0xea, 0x4a],
+            endpoints: vec![
+                Endpoint::tls("api.samsungcloud.com"),
+                Endpoint::http("laundry-status.samsungcloud.com"),
+            ],
+            power_flights: vec![Flight::control(0), laundry_tls(0), plaintext_status(1)],
+            activities: vec![
+                {
+                    let mut a = actuation("start", 1, PayloadKind::Telemetry, APPS);
+                    a.flights.push(plaintext_status(1));
+                    a.flights.push(laundry_tls(0));
+                    a
+                },
+                {
+                    let mut a = actuation("stop", 1, PayloadKind::Telemetry, APPS);
+                    a.flights.push(laundry_tls(0));
+                    a
+                },
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Samsung Dryer",
+            category: Appliance,
+            availability: UsOnly,
+            manufacturer_org: "Samsung",
+            oui: [0x8c, 0xea, 0x4b],
+            endpoints: vec![
+                Endpoint::tls("api.samsungcloud.com"),
+                Endpoint::http("laundry-status.samsungcloud.com"),
+            ],
+            power_flights: vec![Flight::control(0), laundry_tls(0), plaintext_status(1)],
+            activities: vec![
+                {
+                    let mut a = actuation("start", 1, PayloadKind::Telemetry, APPS);
+                    a.flights.push(plaintext_status(1));
+                    a.flights.push(laundry_tls(0));
+                    a
+                },
+                {
+                    let mut a = actuation("stop", 1, PayloadKind::Telemetry, APPS);
+                    a.flights.push(laundry_tls(0));
+                    a
+                },
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "GE Microwave",
+            category: Appliance,
+            availability: UsOnly,
+            manufacturer_org: "GE Appliances",
+            oui: [0xd8, 0x28, 0xc9],
+            endpoints: vec![
+                Endpoint {
+                    host: "iot.geappliances.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::Mqtt,
+                    egress_filter: None,
+                },
+                Endpoint::tls("api.geappliances.com"),
+                Endpoint::tls("ge-iot.us-east-1.amazonaws.com"),
+            ],
+            power_flights: vec![Flight::control(1), Flight::control(2)],
+            activities: vec![
+                {
+                    let mut a = actuation("start", 0, PayloadKind::MixedProprietary, APPS);
+                    a.flights.push(Flight {
+                        endpoint: 0,
+                        out_packets: (8, 16),
+                        out_size: (200, 600),
+                        in_packets: (4, 10),
+                        in_size: (150, 450),
+                        iat_ms: (20.0, 90.0),
+                        payload: PayloadKind::MixedProprietary,
+                    });
+                    a
+                },
+                actuation("stop", 0, PayloadKind::MixedProprietary, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Behmor Brewer",
+            category: Appliance,
+            availability: UsOnly,
+            manufacturer_org: "Behmor",
+            oui: [0x60, 0xf1, 0x89],
+            endpoints: vec![
+                Endpoint::tls("api.behmor.com"),
+                Endpoint::tls("behmor-iot.us-east-1.amazonaws.com"),
+            ],
+            power_flights: vec![Flight::control(0), Flight::control(1)],
+            activities: vec![
+                actuation("start", 0, PayloadKind::Ciphertext, APPS),
+                actuation("stop", 0, PayloadKind::Ciphertext, APPS),
+                tweak("temperature", 0, PayloadKind::Ciphertext, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Xiaomi Rice Cooker",
+            category: Appliance,
+            availability: UsOnly,
+            manufacturer_org: "Xiaomi",
+            oui: [0x04, 0xcf, 0x8e],
+            endpoints: vec![
+                // §4.3: "the US based Xiaomi Rice Cooker contacted Kingsoft
+                // only when connected via VPN, normally it contacts
+                // Alibaba cloud service."
+                Endpoint::tls("cooker.aliyun.com").only_via(Region::Americas),
+                Endpoint::tls("cooker.ksyun.com").only_via(Region::Europe),
+                Endpoint {
+                    host: "ot.mi.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryUdp(8053),
+                    egress_filter: None,
+                },
+            ],
+            power_flights: vec![Flight::control(0), Flight::control(1)],
+            activities: vec![
+                actuation("start", 2, PayloadKind::MixedProprietary, APPS),
+                actuation("stop", 2, PayloadKind::MixedProprietary, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        // ——— UK-only devices ———
+        DeviceSpec {
+            name: "Smarter Brewer",
+            category: Appliance,
+            availability: UkOnly,
+            manufacturer_org: "Smarter",
+            oui: [0x5c, 0xcf, 0x7f],
+            endpoints: vec![Endpoint {
+                host: "brew.smarter.am",
+                ip_org: None,
+                protocol: EndpointProtocol::ProprietaryTcp(2081),
+                egress_filter: None,
+            }],
+            power_flights: vec![Flight {
+                endpoint: 0,
+                out_packets: (3, 7),
+                out_size: (90, 250),
+                in_packets: (2, 5),
+                in_size: (80, 200),
+                iat_ms: (30.0, 110.0),
+                payload: PayloadKind::MixedProprietary,
+            }],
+            activities: vec![
+                actuation("start", 0, PayloadKind::MixedProprietary, APPS),
+                actuation("stop", 0, PayloadKind::MixedProprietary, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                keepalives_per_hour: 2.0,
+                ..IdleBehavior::default()
+            },
+        },
+        DeviceSpec {
+            name: "Smarter iKettle",
+            category: Appliance,
+            availability: UkOnly,
+            manufacturer_org: "Smarter",
+            oui: [0x5c, 0xcf, 0x80],
+            endpoints: vec![Endpoint {
+                host: "kettle.smarter.am",
+                ip_org: None,
+                protocol: EndpointProtocol::ProprietaryTcp(2081),
+                egress_filter: None,
+            }],
+            power_flights: vec![Flight {
+                endpoint: 0,
+                out_packets: (2, 6),
+                out_size: (80, 220),
+                in_packets: (2, 4),
+                in_size: (70, 180),
+                iat_ms: (30.0, 110.0),
+                payload: PayloadKind::MixedProprietary,
+            }],
+            activities: vec![
+                actuation("start", 0, PayloadKind::MixedProprietary, APPS),
+                actuation("stop", 0, PayloadKind::MixedProprietary, APPS),
+                tweak("temperature", 0, PayloadKind::MixedProprietary, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                keepalives_per_hour: 2.0,
+                ..IdleBehavior::default()
+            },
+        },
+        DeviceSpec {
+            name: "Xiaomi Cleaner",
+            category: Appliance,
+            availability: UkOnly,
+            manufacturer_org: "Xiaomi",
+            oui: [0x04, 0xcf, 0x8f],
+            endpoints: vec![
+                Endpoint::tls("cleaner.aliyun.com"),
+                Endpoint {
+                    host: "ot.mi.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryUdp(8053),
+                    egress_filter: None,
+                },
+            ],
+            power_flights: vec![Flight::control(0)],
+            activities: vec![
+                actuation("start", 1, PayloadKind::MixedProprietary, APPS),
+                actuation("stop", 1, PayloadKind::MixedProprietary, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+    ]
+}

@@ -1,0 +1,179 @@
+//! Smart-speaker models (Table 1, "Audio" column).
+//!
+//! Audio devices "tend to use the most encryption (more than 60% on both
+//! testbeds), likely because they are built and designed by major
+//! corporations known to have high security standards" (§5.2). Their voice
+//! bursts are distinctive; §7.3 documents Alexa's false wake-words sending
+//! whole sentences to Amazon before recognizing the mistake.
+
+use crate::device::*;
+
+use super::{tweak, voice};
+use Availability::*;
+use Category::Audio;
+use InteractionMethod::*;
+
+const LOCAL: &[InteractionMethod] = &[Local];
+
+/// A smart speaker: voice endpoint, metrics endpoint, CDN.
+#[allow(clippy::too_many_arguments)]
+fn speaker(
+    name: &'static str,
+    availability: Availability,
+    manufacturer_org: &'static str,
+    oui: [u8; 3],
+    voice_host: &'static str,
+    metrics_host: &'static str,
+    cdn_host: &'static str,
+    voice_scale: f64,
+    spontaneous_voice_per_hour: f64,
+    spontaneous_volume_per_hour: f64,
+) -> DeviceSpec {
+    let spontaneous: &'static [(&'static str, f64)] =
+        match (spontaneous_voice_per_hour > 0.0, spontaneous_volume_per_hour > 0.0) {
+            (true, true) => Box::leak(Box::new([
+                ("voice", spontaneous_voice_per_hour),
+                ("volume", spontaneous_volume_per_hour),
+            ])),
+            (true, false) => Box::leak(Box::new([("voice", spontaneous_voice_per_hour)])),
+            (false, true) => Box::leak(Box::new([("volume", spontaneous_volume_per_hour)])),
+            (false, false) => &[],
+        };
+    DeviceSpec {
+        name,
+        category: Audio,
+        availability,
+        manufacturer_org,
+        oui,
+        endpoints: vec![
+            Endpoint::tls(voice_host),
+            Endpoint::tls(metrics_host),
+            Endpoint::tls(cdn_host),
+            // The audio transport itself rides a vendor framing Wireshark
+            // cannot dissect — the ~36-44% "unknown" share of Table 6.
+            Endpoint {
+                host: voice_host,
+                ip_org: None,
+                protocol: EndpointProtocol::ProprietaryTcp(4070),
+                egress_filter: None,
+            },
+        ],
+        power_flights: vec![Flight::control(0), Flight::control(1), Flight::control(2)],
+        activities: vec![
+            {
+                let mut v = voice(0, voice_scale, LOCAL);
+                v.flights.push(Flight {
+                    endpoint: 3,
+                    out_packets: (10, 20),
+                    out_size: (300, 700),
+                    in_packets: (4, 10),
+                    in_size: (200, 500),
+                    iat_ms: (8.0, 30.0),
+                    payload: PayloadKind::MixedProprietary,
+                });
+                v
+            },
+            tweak("volume", 1, PayloadKind::Ciphertext, LOCAL),
+        ],
+        pii_leaks: vec![],
+        idle: IdleBehavior {
+            reconnects_per_hour: 0.06,
+            spontaneous,
+            keepalives_per_hour: 20.0,
+        },
+    }
+}
+
+pub(super) fn devices() -> Vec<DeviceSpec> {
+    vec![
+        // ——— Common devices ———
+        speaker(
+            "Echo Dot",
+            Both,
+            "Amazon",
+            [0xfc, 0xa6, 0x67],
+            "avs-alexa-na.amazon.com",
+            "device-metrics-us.amazon.com",
+            "dcape.cloudfront.net",
+            1.0,
+            // §7.3: false wake-words fire even in an empty room (TV noise
+            // from neighboring devices); Table 11 shows idle volume storms.
+            0.03,
+            0.05,
+        ),
+        speaker(
+            "Echo Spot",
+            Both,
+            "Amazon",
+            [0xfc, 0xa6, 0x68],
+            "avs-alexa-na.amazon.com",
+            "device-metrics-us.amazon.com",
+            "dcape.cloudfront.net",
+            1.25,
+            0.04,
+            0.18,
+        ),
+        speaker(
+            "Echo Plus",
+            Both,
+            "Amazon",
+            [0xfc, 0xa6, 0x69],
+            "avs-alexa-na.amazon.com",
+            "device-metrics-us.amazon.com",
+            "dcape.cloudfront.net",
+            1.5,
+            0.04,
+            0.1,
+        ),
+        speaker(
+            "Google Home Mini",
+            Both,
+            "Google",
+            [0x20, 0xdf, 0xb9],
+            "assistant.google.com",
+            "clients4.google.com",
+            "media.gstatic.com",
+            0.8,
+            0.1,
+            0.0,
+        ),
+        // ——— US-only ———
+        speaker(
+            "Allure with Alexa",
+            UsOnly,
+            "Allure",
+            [0xb8, 0x5f, 0x98],
+            "voice.alluresmartspeaker.com",
+            "avs-alexa-na.amazon.com",
+            "dcape.cloudfront.net",
+            0.9,
+            0.02,
+            0.0,
+        ),
+        speaker(
+            "Invoke with Cortana",
+            UsOnly,
+            "Harman",
+            [0x74, 0xc2, 0x46],
+            "cortana.microsoft.com",
+            "telemetry.harman.com",
+            "assets.azure.com",
+            1.1,
+            0.12,
+            0.12,
+        ),
+        // ——— UK-only ———
+        speaker(
+            "Google Home",
+            UkOnly,
+            "Google",
+            [0x20, 0xdf, 0xba],
+            "assistant.google.com",
+            "clients4.google.com",
+            "media.gstatic.com",
+            1.3,
+            0.05,
+            0.0,
+        ),
+    ]
+}

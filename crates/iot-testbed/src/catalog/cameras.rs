@@ -1,0 +1,557 @@
+//! Camera and video-doorbell models (Table 1, "Cameras" column).
+//!
+//! Cameras are the paper's most talkative category: they rely heavily on
+//! cloud outsourcing (Table 3: ~50 support parties), carry the largest
+//! unencrypted share (Table 6, driven by Microseven / Zmodo / the UK spy
+//! camera), are the most inferrable (Table 9), and produce the headline
+//! unexpected behaviors (Ring and Zmodo doorbells recording on motion,
+//! §7.3).
+
+use crate::device::*;
+use crate::lab::LabSite;
+use iot_geodb::geo::Region;
+
+use super::video_burst;
+use ActivityKind::*;
+use Availability::*;
+use Category::Camera;
+use InteractionMethod::*;
+
+const LOCAL: &[InteractionMethod] = &[Local];
+const APPS: &[InteractionMethod] = &[LanApp, WanApp];
+const WAN: &[InteractionMethod] = &[WanApp];
+
+/// Standard camera interaction set: move / watch / record / photo, with
+/// per-device scaling of the video bursts.
+#[allow(clippy::too_many_arguments)]
+fn camera_activities(
+    media_ep: usize,
+    move_pkts: (u32, u32),
+    stream_pkts: (u32, u32),
+    size: (u32, u32),
+    payload: PayloadKind,
+) -> Vec<ActivitySpec> {
+    vec![
+        video_burst("move", Movement, media_ep, move_pkts, size, payload, LOCAL),
+        video_burst("watch", Video, media_ep, stream_pkts, size, payload, APPS),
+        video_burst(
+            "record",
+            Video,
+            media_ep,
+            (stream_pkts.0 / 2, stream_pkts.1 / 2),
+            size,
+            payload,
+            WAN,
+        ),
+        video_burst(
+            "photo",
+            Video,
+            media_ep,
+            (4, 9),
+            (size.0, size.1.saturating_add(200)),
+            payload,
+            WAN,
+        ),
+    ]
+}
+
+pub(super) fn devices() -> Vec<DeviceSpec> {
+    vec![
+        // ——— Common devices (both labs) ———
+        DeviceSpec {
+            name: "Wansview Cam",
+            category: Camera,
+            availability: Both,
+            manufacturer_org: "Wansview",
+            oui: [0x78, 0xa5, 0xdd],
+            endpoints: vec![
+                Endpoint::tls("api.wansview.com"),
+                // P2P relays in residential networks: literal IPs, no DNS —
+                // §4.2: "we observed [it] to contact IPs in many
+                // residential networks", the largest destination set (52).
+                Endpoint {
+                    host: "",
+                    ip_org: Some("Residential Broadband"),
+                    protocol: EndpointProtocol::ProprietaryUdp(32100),
+                    egress_filter: None,
+                },
+                Endpoint {
+                    host: "p2p-relay.wowinc.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryUdp(32100),
+                    egress_filter: Some(Region::Europe),
+                },
+                Endpoint::tls("turn.amazonaws.com"),
+            ],
+            power_flights: vec![
+                Flight::control(0),
+                Flight {
+                    endpoint: 1,
+                    out_packets: (6, 14),
+                    out_size: (90, 200),
+                    in_packets: (4, 10),
+                    in_size: (80, 180),
+                    iat_ms: (10.0, 40.0),
+                    payload: PayloadKind::MixedProprietary,
+                },
+            ],
+            activities: {
+                let mut acts =
+                    camera_activities(1, (25, 55), (110, 190), (500, 1100), PayloadKind::Media);
+                // Every session probes several relay candidates before one
+                // wins — the mechanism behind Wansview's 52-destination
+                // footprint (§4.2).
+                for act in &mut acts {
+                    for _ in 0..2 {
+                        act.flights.push(Flight {
+                            endpoint: 1,
+                            out_packets: (2, 4),
+                            out_size: (80, 160),
+                            in_packets: (1, 3),
+                            in_size: (70, 150),
+                            iat_ms: (10.0, 40.0),
+                            payload: PayloadKind::MixedProprietary,
+                        });
+                    }
+                }
+                acts
+            },
+            pii_leaks: vec![PiiLeak {
+                endpoint: 1,
+                kind: PiiKind::DeviceId,
+                encoding: PiiEncoding::Plain,
+                trigger: PiiTrigger::OnPower,
+                site_filter: None,
+            }],
+            idle: IdleBehavior {
+                reconnects_per_hour: 0.12,
+                spontaneous: &[("move", 4.2)],
+                keepalives_per_hour: 10.0,
+            },
+        },
+        DeviceSpec {
+            name: "Ring Doorbell",
+            category: Camera,
+            availability: Both,
+            manufacturer_org: "Amazon",
+            oui: [0x0c, 0x47, 0xc9],
+            endpoints: vec![
+                Endpoint::tls("api.ring.com"),
+                Endpoint {
+                    host: "stream.ring.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(9998),
+                    egress_filter: None,
+                },
+                Endpoint::tls("kinesisvideo.amazonaws.com"),
+            ],
+            power_flights: vec![Flight::control(0), Flight::control(2)],
+            activities: {
+                let mut acts =
+                    camera_activities(1, (40, 80), (130, 220), (600, 1250), PayloadKind::Media);
+                acts.push(video_burst(
+                    "ring",
+                    Other,
+                    1,
+                    (15, 30),
+                    (500, 1000),
+                    PayloadKind::Media,
+                    LOCAL,
+                ));
+                acts
+            },
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                reconnects_per_hour: 0.08,
+                // §7.3: records video on every motion, undisclosed; in the
+                // isolated idle room this fires only rarely.
+                spontaneous: &[("move", 0.05)],
+                keepalives_per_hour: 12.0,
+            },
+        },
+        DeviceSpec {
+            name: "Yi Cam",
+            category: Camera,
+            availability: Both,
+            manufacturer_org: "Yi Technology",
+            oui: [0x0c, 0x8c, 0x24],
+            endpoints: vec![
+                Endpoint::tls("api.xiaoyi.com"),
+                Endpoint {
+                    host: "upload.xiaoyi.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(8554),
+                    egress_filter: None,
+                },
+                Endpoint::tls("cn-north.aliyun.com"),
+            ],
+            power_flights: vec![Flight::control(0)],
+            activities: camera_activities(1, (20, 45), (90, 160), (450, 1000), PayloadKind::Media),
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        // ——— US-only devices ———
+        DeviceSpec {
+            name: "Amazon Cloudcam",
+            category: Camera,
+            availability: UsOnly,
+            manufacturer_org: "Amazon",
+            oui: [0xfc, 0x65, 0xde],
+            endpoints: vec![
+                Endpoint::tls("cloudcam.amazon.com"),
+                Endpoint::tls("kinesisvideo.amazonaws.com"),
+            ],
+            power_flights: vec![Flight::control(0), Flight::control(1)],
+            activities: camera_activities(1, (35, 70), (120, 200), (700, 1300), PayloadKind::Ciphertext),
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                keepalives_per_hour: 15.0,
+                ..IdleBehavior::default()
+            },
+        },
+        DeviceSpec {
+            name: "Amcrest Cam",
+            category: Camera,
+            availability: UsOnly,
+            manufacturer_org: "Amcrest",
+            oui: [0x9c, 0x8e, 0xcd],
+            endpoints: vec![
+                Endpoint::tls("api.amcrestcloud.com"),
+                Endpoint {
+                    host: "media.amcrestcloud.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(37777),
+                    egress_filter: None,
+                },
+                Endpoint::tls("amcrest-iot.us-east-1.amazonaws.com"),
+            ],
+            power_flights: vec![Flight::control(0), Flight::control(2)],
+            activities: camera_activities(1, (18, 40), (80, 150), (400, 950), PayloadKind::Media),
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Blink Cam",
+            category: Camera,
+            availability: UsOnly,
+            manufacturer_org: "Amazon",
+            oui: [0xf4, 0xb8, 0x5e],
+            endpoints: vec![
+                Endpoint::tls("rest.blinkforhome.com"),
+                Endpoint {
+                    host: "clips.blinkforhome.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(443),
+                    egress_filter: None,
+                },
+            ],
+            power_flights: vec![Flight::control(0)],
+            activities: camera_activities(1, (12, 28), (60, 110), (350, 800), PayloadKind::Media),
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Blink Hub",
+            category: Camera,
+            availability: UsOnly,
+            manufacturer_org: "Amazon",
+            oui: [0xf4, 0xb8, 0x5f],
+            endpoints: vec![Endpoint::tls("rest.blinkforhome.com")],
+            power_flights: vec![Flight::control(0)],
+            activities: vec![video_burst(
+                "move",
+                Movement,
+                0,
+                (8, 18),
+                (250, 600),
+                PayloadKind::Ciphertext,
+                LOCAL,
+            )],
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                keepalives_per_hour: 20.0,
+                ..IdleBehavior::default()
+            },
+        },
+        DeviceSpec {
+            name: "D-Link Cam",
+            category: Camera,
+            availability: UsOnly,
+            manufacturer_org: "D-Link",
+            oui: [0xb0, 0xc5, 0x54],
+            endpoints: vec![
+                Endpoint::tls("api.mydlink.com"),
+                Endpoint {
+                    host: "stream.mydlink.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(8080),
+                    egress_filter: None,
+                },
+                Endpoint::tls("dlink-events.us-east-1.amazonaws.com"),
+            ],
+            power_flights: vec![Flight::control(0), Flight::control(2)],
+            activities: camera_activities(1, (22, 48), (95, 170), (480, 1050), PayloadKind::Media),
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Lefun Cam",
+            category: Camera,
+            availability: UsOnly,
+            manufacturer_org: "Lefun",
+            oui: [0x38, 0x01, 0x46],
+            endpoints: vec![
+                Endpoint::tls("api.lefunsmart.com"),
+                Endpoint {
+                    host: "p2p.lefunsmart.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryUdp(32108),
+                    egress_filter: None,
+                },
+                Endpoint::tls("mqtt.aliyun.com"),
+            ],
+            power_flights: vec![Flight::control(0), Flight::control(2)],
+            activities: camera_activities(1, (15, 35), (70, 130), (420, 900), PayloadKind::Media),
+            pii_leaks: vec![PiiLeak {
+                endpoint: 1,
+                kind: PiiKind::DeviceId,
+                encoding: PiiEncoding::Base64,
+                trigger: PiiTrigger::OnPower,
+                site_filter: None,
+            }],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Microseven Cam",
+            category: Camera,
+            availability: UsOnly,
+            manufacturer_org: "Microseven",
+            oui: [0x00, 0x62, 0x6e],
+            endpoints: vec![
+                // §5.2: most unencrypted bytes in the US lab — plaintext
+                // HTTP video with recognizable JPEG framing.
+                Endpoint::http("stream.microseven.com"),
+                Endpoint::tls("api.microseven.com"),
+            ],
+            power_flights: vec![Flight::control(1)],
+            activities: {
+                let mut acts = camera_activities(
+                    0,
+                    (20, 40),
+                    (70, 120),
+                    (500, 1000),
+                    PayloadKind::MediaJpeg,
+                );
+                // Authentication/relay traffic on the TLS channel keeps the
+                // device in Table 5's 50–75% unencrypted band, not >75%.
+                for act in &mut acts {
+                    act.flights.push(Flight::upload(1, (35, 60), (500, 1000)));
+                }
+                acts
+            },
+            pii_leaks: vec![PiiLeak {
+                endpoint: 0,
+                kind: PiiKind::DeviceId,
+                encoding: PiiEncoding::Plain,
+                trigger: PiiTrigger::OnActivity("watch"),
+                site_filter: None,
+            }],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Zmodo Doorbell",
+            category: Camera,
+            availability: UsOnly,
+            manufacturer_org: "Zmodo",
+            oui: [0x44, 0x33, 0x4c],
+            endpoints: vec![
+                Endpoint::tls("api.meshare.com"),
+                // §7.3: "uploads camera snapshots when the device is first
+                // turned on, and also when anyone moves in front of the
+                // device" — undocumented, plaintext JPEG.
+                Endpoint::http("snapshot.meshare.com"),
+                Endpoint {
+                    host: "stream.meshare.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(8765),
+                    egress_filter: None,
+                },
+            ],
+            power_flights: vec![
+                Flight::control(0),
+                Flight::upload(1, (6, 12), (700, 1300)).with_payload(PayloadKind::MediaJpeg),
+            ],
+            activities: {
+                // Motion events upload a small plaintext snapshot; the
+                // full streams ride the proprietary channel.
+                let mut acts =
+                    camera_activities(2, (20, 45), (90, 150), (600, 1200), PayloadKind::Media);
+                acts[0] = video_burst(
+                    "move",
+                    Movement,
+                    1,
+                    (5, 10),
+                    (600, 1100),
+                    PayloadKind::MediaJpeg,
+                    LOCAL,
+                );
+                acts
+            },
+            pii_leaks: vec![PiiLeak {
+                endpoint: 1,
+                kind: PiiKind::DeviceId,
+                encoding: PiiEncoding::Hex,
+                trigger: PiiTrigger::OnActivity("move"),
+                site_filter: None,
+            }],
+            idle: IdleBehavior {
+                reconnects_per_hour: 0.1,
+                // Table 11: 1845 "local move" detections in 28 idle hours.
+                spontaneous: &[("move", 66.0)],
+                keepalives_per_hour: 8.0,
+            },
+        },
+        // ——— UK-only devices ———
+        DeviceSpec {
+            name: "WiMaker Spy Camera",
+            category: Camera,
+            availability: UkOnly,
+            manufacturer_org: "WiMaker",
+            oui: [0xe0, 0xb9, 0x4d],
+            endpoints: vec![
+                // §5.2: the UK lab's biggest plaintext source.
+                Endpoint::http("cam.wimakercam.com"),
+                Endpoint {
+                    host: "p2p.wimakercam.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryUdp(10088),
+                    egress_filter: None,
+                },
+            ],
+            power_flights: vec![Flight {
+                endpoint: 1,
+                out_packets: (5, 10),
+                out_size: (80, 160),
+                in_packets: (3, 8),
+                in_size: (70, 150),
+                iat_ms: (15.0, 45.0),
+                payload: PayloadKind::MixedProprietary,
+            }],
+            activities: {
+                let mut acts = camera_activities(
+                    0,
+                    (18, 36),
+                    (70, 120),
+                    (450, 1000),
+                    PayloadKind::MediaJpeg,
+                );
+                for act in &mut acts {
+                    act.flights.push(
+                        Flight::upload(1, (25, 45), (450, 950))
+                            .with_payload(PayloadKind::Media),
+                    );
+                }
+                acts
+            },
+            pii_leaks: vec![PiiLeak {
+                endpoint: 0,
+                kind: PiiKind::MacAddress,
+                encoding: PiiEncoding::Plain,
+                trigger: PiiTrigger::OnPower,
+                site_filter: None,
+            }],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Xiaomi Cam",
+            category: Camera,
+            availability: UkOnly,
+            manufacturer_org: "Xiaomi",
+            oui: [0x78, 0x11, 0xdc],
+            endpoints: vec![
+                Endpoint::tls("api.mi.com"),
+                Endpoint {
+                    host: "upload.mi.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(8300),
+                    egress_filter: None,
+                },
+                // §6.2: "each time the Xiaomi camera detected a motion, its
+                // MAC address, the hour and the date … (in plaintext) was
+                // sent to an EC2 domain … a video was included."
+                Endpoint::http("motion-log.us-east-1.amazonaws.com"),
+            ],
+            power_flights: vec![Flight::control(0)],
+            activities: {
+                let mut acts =
+                    camera_activities(1, (20, 42), (85, 150), (460, 1000), PayloadKind::Media);
+                acts[0].flights.push(
+                    Flight::upload(2, (6, 12), (600, 1200)).with_payload(PayloadKind::MediaJpeg),
+                );
+                acts
+            },
+            pii_leaks: vec![PiiLeak {
+                endpoint: 2,
+                kind: PiiKind::MacAddress,
+                encoding: PiiEncoding::Plain,
+                trigger: PiiTrigger::OnActivity("move"),
+                site_filter: None,
+            }],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Luohe Cam",
+            category: Camera,
+            availability: UkOnly,
+            manufacturer_org: "Luohe",
+            oui: [0x00, 0x5a, 0x13],
+            endpoints: vec![
+                Endpoint::tls("api.luohecam.com"),
+                Endpoint {
+                    host: "relay.luohecam.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryUdp(25503),
+                    egress_filter: None,
+                },
+            ],
+            power_flights: vec![Flight::control(0)],
+            activities: camera_activities(1, (16, 36), (75, 140), (430, 950), PayloadKind::Media),
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Bosiwo Cam",
+            category: Camera,
+            availability: UkOnly,
+            manufacturer_org: "Bosiwo",
+            oui: [0xac, 0xcf, 0x23],
+            endpoints: vec![
+                Endpoint::http("api.bosiwocam.com"),
+                Endpoint {
+                    host: "stream.bosiwocam.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(8000),
+                    egress_filter: None,
+                },
+            ],
+            power_flights: vec![Flight {
+                endpoint: 0,
+                out_packets: (2, 4),
+                out_size: (150, 300),
+                in_packets: (1, 3),
+                in_size: (100, 250),
+                iat_ms: (20.0, 60.0),
+                payload: PayloadKind::Telemetry,
+            }],
+            activities: camera_activities(1, (18, 38), (80, 145), (440, 980), PayloadKind::Media),
+            pii_leaks: vec![PiiLeak {
+                endpoint: 0,
+                kind: PiiKind::MacAddress,
+                encoding: PiiEncoding::Plain,
+                trigger: PiiTrigger::OnPower,
+                site_filter: Some(LabSite::Uk),
+            }],
+            idle: IdleBehavior::default(),
+        },
+    ]
+}

@@ -1,0 +1,391 @@
+//! Home-automation models (Table 1, "Home Automation" column).
+//!
+//! Wi-Fi plugs, bulbs, sensors, and thermostats. Several are the paper's
+//! plaintext offenders (Table 7): TP-Link plug (18.6% unencrypted in the
+//! US), TP-Link bulb (13.1%), D-Link movement sensor (14.9%), and the Nest
+//! thermostat (11.6%), while the Magichome strip leaks its MAC to an
+//! Alibaba-hosted service in both labs (§6.2).
+
+use crate::device::*;
+
+use super::{actuation, tweak};
+use ActivityKind::*;
+use Availability::*;
+use Category::HomeAutomation;
+use InteractionMethod::*;
+
+const APPS: &[InteractionMethod] = &[LanApp, WanApp];
+
+/// A heavier encrypted cloud session that accompanies plaintext command
+/// channels, keeping unencrypted shares near Table 7's per-device values.
+fn cloud_tls(endpoint: usize) -> Flight {
+    Flight {
+        endpoint,
+        out_packets: (5, 10),
+        out_size: (250, 600),
+        in_packets: (5, 10),
+        in_size: (250, 600),
+        iat_ms: (10.0, 50.0),
+        payload: PayloadKind::Ciphertext,
+    }
+}
+const APPS_ALEXA: &[InteractionMethod] = &[LanApp, WanApp, Alexa];
+const LOCAL: &[InteractionMethod] = &[Local];
+
+pub(super) fn devices() -> Vec<DeviceSpec> {
+    vec![
+        // ——— Common devices ———
+        DeviceSpec {
+            name: "TP-Link Plug",
+            category: HomeAutomation,
+            availability: Both,
+            manufacturer_org: "TP-Link",
+            oui: [0x50, 0xc7, 0xbf],
+            endpoints: vec![
+                Endpoint::tls("use1-api.tplinkcloud.com"),
+                // The classic TP-Link plaintext-JSON command channel.
+                Endpoint::http("legacy.tplinkcloud.com"),
+                Endpoint::tls("metrics.branch.io").only_via(iot_geodb::geo::Region::Americas),
+                Endpoint::tls("tplink-iot.us-east-1.amazonaws.com"),
+                // The US firmware reports usage over plaintext as well —
+                // Table 7: plug 18.6% unencrypted in the US vs 8.7% UK,
+                // with a significant change over VPN.
+                Endpoint::http("report.tplinkcloud.com")
+                    .only_via(iot_geodb::geo::Region::Americas),
+            ],
+            power_flights: vec![
+                Flight::control(0),
+                cloud_tls(0),
+                Flight {
+                    endpoint: 1,
+                    out_packets: (3, 7),
+                    out_size: (150, 400),
+                    in_packets: (2, 5),
+                    in_size: (120, 300),
+                    iat_ms: (20.0, 80.0),
+                    payload: PayloadKind::Telemetry,
+                },
+                Flight::control(2),
+                Flight::control(3),
+                Flight {
+                    endpoint: 4,
+                    out_packets: (3, 6),
+                    out_size: (150, 350),
+                    in_packets: (1, 3),
+                    in_size: (80, 200),
+                    iat_ms: (20.0, 80.0),
+                    payload: PayloadKind::Telemetry,
+                },
+            ],
+            activities: vec![
+                {
+                    let mut a = actuation("on", 1, PayloadKind::Telemetry, APPS_ALEXA);
+                    a.flights.push(cloud_tls(0));
+                    a
+                },
+                {
+                    let mut a = actuation("off", 1, PayloadKind::Telemetry, APPS_ALEXA);
+                    a.flights.push(cloud_tls(0));
+                    a
+                },
+            ],
+            pii_leaks: vec![PiiLeak {
+                endpoint: 1,
+                kind: PiiKind::DeviceId,
+                encoding: PiiEncoding::Hex,
+                trigger: PiiTrigger::OnPower,
+                site_filter: None,
+            }],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "TP-Link Bulb",
+            category: HomeAutomation,
+            availability: Both,
+            manufacturer_org: "TP-Link",
+            oui: [0x50, 0xc7, 0xc0],
+            endpoints: vec![
+                Endpoint::tls("use1-api.tplinkcloud.com"),
+                Endpoint::http("legacy.tplinkcloud.com"),
+                Endpoint::tls("metrics.branch.io").only_via(iot_geodb::geo::Region::Americas),
+            ],
+            power_flights: vec![
+                Flight::control(0),
+                cloud_tls(0),
+                Flight {
+                    endpoint: 1,
+                    out_packets: (2, 6),
+                    out_size: (140, 380),
+                    in_packets: (2, 4),
+                    in_size: (110, 280),
+                    iat_ms: (20.0, 80.0),
+                    payload: PayloadKind::Telemetry,
+                },
+                Flight::control(2),
+            ],
+            activities: vec![
+                {
+                    let mut a = actuation("on", 1, PayloadKind::Telemetry, APPS_ALEXA);
+                    a.flights.push(cloud_tls(0));
+                    a
+                },
+                {
+                    let mut a = actuation("off", 1, PayloadKind::Telemetry, APPS_ALEXA);
+                    a.flights.push(cloud_tls(0));
+                    a
+                },
+                {
+                    let mut a = tweak("brightness", 1, PayloadKind::Telemetry, APPS);
+                    a.flights.push(cloud_tls(0));
+                    a
+                },
+                {
+                    let mut a = tweak("color", 1, PayloadKind::Telemetry, APPS);
+                    a.flights.push(cloud_tls(0));
+                    a
+                },
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Nest Thermostat",
+            category: HomeAutomation,
+            availability: Both,
+            manufacturer_org: "Google",
+            oui: [0x18, 0xb4, 0x30],
+            endpoints: vec![
+                Endpoint::tls("transport.nest.com"),
+                Endpoint::http("weather.nest.com"),
+                Endpoint::tls("clients.google.com"),
+            ],
+            power_flights: vec![
+                Flight::control(0),
+                Flight::control(2),
+                Flight {
+                    endpoint: 1,
+                    out_packets: (2, 4),
+                    out_size: (150, 300),
+                    in_packets: (2, 4),
+                    in_size: (250, 550),
+                    iat_ms: (25.0, 90.0),
+                    payload: PayloadKind::Markup,
+                },
+            ],
+            activities: vec![
+                tweak("temperature", 0, PayloadKind::Ciphertext, APPS_ALEXA),
+                actuation("on", 0, PayloadKind::Ciphertext, APPS),
+                actuation("off", 0, PayloadKind::Ciphertext, APPS),
+            ],
+            pii_leaks: vec![PiiLeak {
+                endpoint: 1,
+                kind: PiiKind::Geolocation,
+                encoding: PiiEncoding::Plain,
+                trigger: PiiTrigger::OnPower,
+                site_filter: None,
+            }],
+            idle: IdleBehavior {
+                keepalives_per_hour: 12.0,
+                ..IdleBehavior::default()
+            },
+        },
+        DeviceSpec {
+            name: "Magichome Strip",
+            category: HomeAutomation,
+            availability: Both,
+            manufacturer_org: "MagicHome",
+            oui: [0x60, 0x01, 0x94],
+            endpoints: vec![
+                // §6.2: "sending its MAC address in plaintext to a domain
+                // hosted on Alibaba" — in both labs.
+                Endpoint::http("wifi.alibabacloud.com"),
+                Endpoint {
+                    host: "cmd.magichue.net",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(5577),
+                    egress_filter: None,
+                },
+            ],
+            power_flights: vec![
+                Flight {
+                    endpoint: 0,
+                    out_packets: (2, 5),
+                    out_size: (140, 320),
+                    in_packets: (1, 3),
+                    in_size: (90, 200),
+                    iat_ms: (30.0, 100.0),
+                    payload: PayloadKind::Telemetry,
+                },
+                // The vendor command channel stays connected and chatty;
+                // most of the strip's bytes are this proprietary framing.
+                Flight {
+                    endpoint: 1,
+                    out_packets: (12, 24),
+                    out_size: (200, 600),
+                    in_packets: (8, 16),
+                    in_size: (150, 500),
+                    iat_ms: (20.0, 90.0),
+                    payload: PayloadKind::MixedProprietary,
+                },
+            ],
+            activities: vec![
+                actuation("on", 1, PayloadKind::MixedProprietary, APPS_ALEXA),
+                actuation("off", 1, PayloadKind::MixedProprietary, APPS_ALEXA),
+                tweak("color", 1, PayloadKind::MixedProprietary, APPS),
+            ],
+            pii_leaks: vec![PiiLeak {
+                endpoint: 0,
+                kind: PiiKind::MacAddress,
+                encoding: PiiEncoding::Plain,
+                trigger: PiiTrigger::OnPower,
+                site_filter: None,
+            }],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Philips Bulb",
+            category: HomeAutomation,
+            availability: Both,
+            manufacturer_org: "Philips",
+            oui: [0x00, 0x17, 0x89],
+            endpoints: vec![Endpoint::tls("bulb.meethue.com")],
+            power_flights: vec![Flight::control(0)],
+            activities: vec![
+                actuation("on", 0, PayloadKind::Ciphertext, APPS_ALEXA),
+                actuation("off", 0, PayloadKind::Ciphertext, APPS_ALEXA),
+                tweak("brightness", 0, PayloadKind::Ciphertext, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Flux Bulb",
+            category: HomeAutomation,
+            availability: Both,
+            manufacturer_org: "Flux",
+            oui: [0xd8, 0xf1, 0x5b],
+            endpoints: vec![
+                Endpoint {
+                    host: "bulb.fluxsmart.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(5577),
+                    egress_filter: None,
+                },
+                Endpoint::tls("m2.tuyaus.com"),
+            ],
+            power_flights: vec![Flight::control(1)],
+            activities: vec![
+                actuation("on", 0, PayloadKind::MixedProprietary, APPS_ALEXA),
+                actuation("off", 0, PayloadKind::MixedProprietary, APPS_ALEXA),
+                tweak("color", 0, PayloadKind::MixedProprietary, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        // ——— US-only devices ———
+        DeviceSpec {
+            name: "D-Link Movement Sensor",
+            category: HomeAutomation,
+            availability: UsOnly,
+            manufacturer_org: "D-Link",
+            oui: [0xb0, 0xc5, 0x55],
+            endpoints: vec![
+                // Table 7: 14.9% unencrypted — plaintext event reporting.
+                Endpoint::http("event.mydlink.com"),
+                Endpoint::tls("api.mydlink.com"),
+            ],
+            power_flights: vec![Flight::control(1)],
+            activities: vec![{
+                let mut a = tweak("move", 0, PayloadKind::Telemetry, LOCAL);
+                a.kind = Movement;
+                a.flights[0].out_packets = (3, 8);
+                a.flights.push(cloud_tls(1));
+                a
+            }],
+            pii_leaks: vec![PiiLeak {
+                endpoint: 0,
+                kind: PiiKind::DeviceId,
+                encoding: PiiEncoding::Plain,
+                trigger: PiiTrigger::OnActivity("move"),
+                site_filter: None,
+            }],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "WeMo Plug",
+            category: HomeAutomation,
+            availability: UsOnly,
+            manufacturer_org: "Belkin",
+            oui: [0x14, 0x91, 0x82],
+            endpoints: vec![
+                Endpoint::tls("api.xbcs.net"),
+                Endpoint::http("nat.xbcs.net"),
+                Endpoint::tls("wemo-api.us-east-1.amazonaws.com"),
+            ],
+            power_flights: vec![
+                Flight::control(0),
+                Flight {
+                    endpoint: 1,
+                    out_packets: (2, 5),
+                    out_size: (130, 350),
+                    in_packets: (1, 3),
+                    in_size: (100, 250),
+                    iat_ms: (25.0, 90.0),
+                    payload: PayloadKind::Telemetry,
+                },
+                Flight::control(2),
+            ],
+            activities: vec![
+                actuation("on", 0, PayloadKind::Ciphertext, APPS_ALEXA),
+                actuation("off", 0, PayloadKind::Ciphertext, APPS_ALEXA),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Honeywell Thermostat",
+            category: HomeAutomation,
+            availability: UsOnly,
+            manufacturer_org: "Honeywell",
+            oui: [0x00, 0xd0, 0x2d],
+            endpoints: vec![
+                Endpoint::tls("tcc.honeywell.com"),
+                Endpoint::tls("tcc-data.us-east-1.amazonaws.com"),
+            ],
+            power_flights: vec![Flight::control(0), Flight::control(1)],
+            activities: vec![
+                tweak("temperature", 0, PayloadKind::Ciphertext, APPS_ALEXA),
+                actuation("on", 0, PayloadKind::Ciphertext, APPS),
+                actuation("off", 0, PayloadKind::Ciphertext, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        // ——— UK-only devices ———
+        DeviceSpec {
+            name: "Xiaomi Strip",
+            category: HomeAutomation,
+            availability: UkOnly,
+            manufacturer_org: "Xiaomi",
+            oui: [0x04, 0xcf, 0x8d],
+            endpoints: vec![
+                Endpoint {
+                    host: "ot.mi.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryUdp(8053),
+                    egress_filter: None,
+                },
+                Endpoint::tls("strip.aliyun.com"),
+            ],
+            power_flights: vec![Flight::control(1)],
+            activities: vec![
+                actuation("on", 0, PayloadKind::MixedProprietary, APPS_ALEXA),
+                actuation("off", 0, PayloadKind::MixedProprietary, APPS_ALEXA),
+                tweak("brightness", 0, PayloadKind::MixedProprietary, APPS),
+                tweak("color", 0, PayloadKind::MixedProprietary, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+    ]
+}

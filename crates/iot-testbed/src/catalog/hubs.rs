@@ -1,0 +1,276 @@
+//! Smart-hub models (Table 1, "Smart Hubs" column). All seven are common
+//! to both labs.
+//!
+//! Hubs bridge Zigbee/Z-Wave/Insteon devices onto IP. Their traffic is
+//! dominated by vendor-proprietary keepalive protocols — the paper's §5.2
+//! finds hubs have the largest "unknown" share (Table 6: ~72–77%) — and
+//! their tiny on/off bursts are rarely inferrable (Table 9: ≤1 hub).
+
+use crate::device::*;
+use crate::lab::LabSite;
+
+use super::{actuation, tweak};
+use ActivityKind::*;
+use Availability::Both;
+use Category::SmartHub;
+use InteractionMethod::*;
+
+const APPS: &[InteractionMethod] = &[LanApp, WanApp];
+const APPS_ALEXA: &[InteractionMethod] = &[LanApp, WanApp, Alexa];
+const LOCAL: &[InteractionMethod] = &[Local];
+
+/// Proprietary keepalive/command channel common to hub designs.
+fn proprietary_channel(endpoint: usize) -> Flight {
+    Flight {
+        endpoint,
+        out_packets: (10, 22),
+        out_size: (200, 700),
+        in_packets: (8, 18),
+        in_size: (150, 600),
+        iat_ms: (20.0, 100.0),
+        payload: PayloadKind::MixedProprietary,
+    }
+}
+
+pub(super) fn devices() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec {
+            name: "Insteon Hub",
+            category: SmartHub,
+            availability: Both,
+            manufacturer_org: "Insteon",
+            oui: [0x00, 0x0e, 0xf3],
+            endpoints: vec![
+                Endpoint::tls("connect.insteon.com"),
+                Endpoint {
+                    host: "relay.insteon.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(9761),
+                    egress_filter: None,
+                },
+                // §6.2: "the Insteon hub was sending its MAC address in
+                // plaintext to an EC2 domain, but only from the UK lab."
+                Endpoint::http("checkin.eu-west-1.amazonaws.com"),
+            ],
+            power_flights: vec![Flight::control(0), proprietary_channel(1)],
+            activities: vec![
+                actuation("on", 1, PayloadKind::MixedProprietary, APPS_ALEXA),
+                actuation("off", 1, PayloadKind::MixedProprietary, APPS_ALEXA),
+                tweak("brightness", 1, PayloadKind::MixedProprietary, APPS),
+            ],
+            pii_leaks: vec![PiiLeak {
+                endpoint: 2,
+                kind: PiiKind::MacAddress,
+                encoding: PiiEncoding::Plain,
+                trigger: PiiTrigger::OnPower,
+                site_filter: Some(LabSite::Uk),
+            }],
+            idle: IdleBehavior {
+                keepalives_per_hour: 30.0,
+                ..IdleBehavior::default()
+            },
+        },
+        DeviceSpec {
+            name: "Lightify Hub",
+            category: SmartHub,
+            availability: Both,
+            manufacturer_org: "Osram",
+            oui: [0x84, 0x18, 0x26],
+            endpoints: vec![
+                Endpoint::tls("eu.lightify.com"),
+                Endpoint {
+                    host: "gateway.lightify.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(4000),
+                    egress_filter: None,
+                },
+            ],
+            power_flights: vec![Flight::control(0), proprietary_channel(1)],
+            activities: vec![
+                actuation("on", 1, PayloadKind::MixedProprietary, APPS_ALEXA),
+                actuation("off", 1, PayloadKind::MixedProprietary, APPS_ALEXA),
+                tweak("color", 1, PayloadKind::MixedProprietary, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                // Table 11: occasional idle power events from reconnects.
+                reconnects_per_hour: 0.15,
+                spontaneous: &[],
+                keepalives_per_hour: 18.0,
+            },
+        },
+        DeviceSpec {
+            name: "Philips Hue Hub",
+            category: SmartHub,
+            availability: Both,
+            manufacturer_org: "Philips",
+            oui: [0x00, 0x17, 0x88],
+            endpoints: vec![
+                Endpoint::tls("bridge.meethue.com"),
+                Endpoint::tls("diagnostics.meethue.com"),
+            ],
+            power_flights: vec![Flight::control(0), Flight::control(1)],
+            activities: vec![
+                actuation("on", 0, PayloadKind::Ciphertext, APPS_ALEXA),
+                actuation("off", 0, PayloadKind::Ciphertext, APPS_ALEXA),
+                tweak("brightness", 0, PayloadKind::Ciphertext, APPS),
+                tweak("color", 0, PayloadKind::Ciphertext, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                keepalives_per_hour: 8.0,
+                ..IdleBehavior::default()
+            },
+        },
+        DeviceSpec {
+            name: "Sengled Hub",
+            category: SmartHub,
+            availability: Both,
+            manufacturer_org: "Sengled",
+            oui: [0xb0, 0xce, 0x18],
+            endpoints: vec![
+                Endpoint {
+                    host: "mqtt.sengled.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::Mqtt,
+                    egress_filter: None,
+                },
+                Endpoint::tls("api.sengled.com"),
+                Endpoint::tls("sengled-iot.us-east-1.amazonaws.com"),
+            ],
+            power_flights: vec![
+                Flight::control(1),
+                proprietary_channel(0),
+                Flight::control(2),
+            ],
+            activities: vec![
+                actuation("on", 0, PayloadKind::MixedProprietary, APPS_ALEXA),
+                actuation("off", 0, PayloadKind::MixedProprietary, APPS_ALEXA),
+                tweak("brightness", 0, PayloadKind::MixedProprietary, APPS),
+            ],
+            pii_leaks: vec![PiiLeak {
+                endpoint: 0,
+                kind: PiiKind::MacAddress,
+                encoding: PiiEncoding::Hex,
+                trigger: PiiTrigger::OnPower,
+                site_filter: None,
+            }],
+            idle: IdleBehavior {
+                keepalives_per_hour: 25.0,
+                ..IdleBehavior::default()
+            },
+        },
+        DeviceSpec {
+            name: "Smartthings Hub",
+            category: SmartHub,
+            availability: Both,
+            manufacturer_org: "Samsung",
+            oui: [0x24, 0xfd, 0x5b],
+            endpoints: vec![
+                Endpoint::tls("api.smartthings.com"),
+                Endpoint {
+                    host: "dc.smartthings.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(11111),
+                    egress_filter: None,
+                },
+                // Table 7: Smartthings' unencrypted share is significantly
+                // larger in the UK (16.6% vs 6.7%) — modeled as a plaintext
+                // status channel used only when egressing via Europe.
+                Endpoint::http("status.smartthings.com")
+                    .only_via(iot_geodb::geo::Region::Europe),
+                Endpoint::tls("st-metrics.us-east-1.amazonaws.com"),
+            ],
+            power_flights: vec![
+                Flight::control(0),
+                proprietary_channel(1),
+                Flight {
+                    endpoint: 2,
+                    out_packets: (4, 9),
+                    out_size: (250, 600),
+                    in_packets: (2, 5),
+                    in_size: (150, 400),
+                    iat_ms: (20.0, 80.0),
+                    payload: PayloadKind::Telemetry,
+                },
+                Flight::control(3),
+            ],
+            activities: vec![
+                actuation("on", 1, PayloadKind::MixedProprietary, APPS_ALEXA),
+                actuation("off", 1, PayloadKind::MixedProprietary, APPS_ALEXA),
+                {
+                    let mut a = tweak("move", 1, PayloadKind::MixedProprietary, LOCAL);
+                    a.kind = Movement;
+                    a
+                },
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                keepalives_per_hour: 22.0,
+                ..IdleBehavior::default()
+            },
+        },
+        DeviceSpec {
+            name: "Wink 2 Hub",
+            category: SmartHub,
+            availability: Both,
+            manufacturer_org: "Wink",
+            oui: [0xb4, 0x79, 0xa7],
+            endpoints: vec![
+                Endpoint::tls("api.wink.com"),
+                Endpoint {
+                    host: "pubnub.wink.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(5223),
+                    egress_filter: None,
+                },
+                Endpoint::tls("wink-api.us-east-1.amazonaws.com"),
+            ],
+            power_flights: vec![
+                Flight::control(0),
+                proprietary_channel(1),
+                Flight::control(2),
+            ],
+            activities: vec![
+                actuation("on", 1, PayloadKind::MixedProprietary, APPS_ALEXA),
+                actuation("off", 1, PayloadKind::MixedProprietary, APPS_ALEXA),
+                tweak("brightness", 1, PayloadKind::MixedProprietary, APPS),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior::default(),
+        },
+        DeviceSpec {
+            name: "Xiaomi Hub",
+            category: SmartHub,
+            availability: Both,
+            manufacturer_org: "Xiaomi",
+            oui: [0x04, 0xcf, 0x8c],
+            endpoints: vec![
+                Endpoint {
+                    host: "ot.mi.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryUdp(8053),
+                    egress_filter: None,
+                },
+                Endpoint::tls("api.mi.com"),
+                Endpoint::tls("broker.aliyun.com"),
+            ],
+            power_flights: vec![proprietary_channel(0), Flight::control(1), Flight::control(2)],
+            activities: vec![
+                actuation("on", 0, PayloadKind::MixedProprietary, APPS_ALEXA),
+                actuation("off", 0, PayloadKind::MixedProprietary, APPS_ALEXA),
+                tweak("brightness", 0, PayloadKind::MixedProprietary, APPS),
+                {
+                    let mut a = tweak("move", 0, PayloadKind::MixedProprietary, LOCAL);
+                    a.kind = Movement;
+                    a
+                },
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                keepalives_per_hour: 40.0,
+                ..IdleBehavior::default()
+            },
+        },
+    ]
+}

@@ -1,0 +1,318 @@
+//! TV models (Table 1, "TV" column).
+//!
+//! TVs contact the most third parties of any category (Table 3): Netflix
+//! appears on nearly every TV "even though we never configured any TV with
+//! a Netflix account" (§4.3), Roku and Samsung talk to trackers, and the
+//! Samsung TV / Fire TV change behavior with egress region (§5.2 — they
+//! "detect the device geolocation based on egress IP and customize
+//! content", producing significantly different encryption mixes over VPN).
+
+use crate::device::*;
+use iot_geodb::geo::Region;
+
+use super::{tweak, voice};
+use ActivityKind::*;
+use Availability::*;
+use Category::Tv;
+use InteractionMethod::*;
+
+const LOCAL: &[InteractionMethod] = &[Local];
+const LOCAL_LAN: &[InteractionMethod] = &[Local, LanApp];
+
+/// Menu browsing: a flurry of content-catalog fetches — big enough to be
+/// inferrable (Table 9: TVs are the second-most inferrable category).
+fn menu(endpoints: &[usize]) -> ActivitySpec {
+    ActivitySpec {
+        name: "menu",
+        kind: Other,
+        methods: LOCAL_LAN,
+        flights: endpoints
+            .iter()
+            .map(|&e| Flight {
+                endpoint: e,
+                out_packets: (6, 16),
+                out_size: (150, 450),
+                in_packets: (15, 45),
+                in_size: (600, 1300),
+                iat_ms: (5.0, 25.0),
+                payload: PayloadKind::Ciphertext,
+            })
+            .collect(),
+    }
+}
+
+/// Vendor telemetry over undissectable framing — TVs' "unknown" share.
+fn tv_telemetry(endpoint: usize) -> Flight {
+    Flight {
+        endpoint,
+        out_packets: (15, 30),
+        out_size: (400, 1000),
+        in_packets: (8, 16),
+        in_size: (250, 700),
+        iat_ms: (10.0, 50.0),
+        payload: PayloadKind::MixedProprietary,
+    }
+}
+
+pub(super) fn devices() -> Vec<DeviceSpec> {
+    vec![
+        // ——— Common devices ———
+        DeviceSpec {
+            name: "Samsung TV",
+            category: Tv,
+            availability: Both,
+            manufacturer_org: "Samsung",
+            oui: [0x8c, 0xea, 0x48],
+            endpoints: vec![
+                Endpoint::tls("api.samsungcloudsolution.com"),
+                Endpoint::tls("www.netflix.com"),
+                // §4.2: omtrdc.net (tracking) contacted by US devices only.
+                Endpoint::http("samsung.omtrdc.net").only_via(Region::Americas),
+                // Region-detected interactive content: plaintext catalog
+                // fetches whose volume depends on egress region (§5.2).
+                Endpoint::http("catalog.samsungotn.net"),
+                Endpoint::tls("cdn.akamai.net"),
+                Endpoint {
+                    host: "dmp.samsungcloudsolution.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(8001),
+                    egress_filter: None,
+                },
+            ],
+            power_flights: vec![
+                Flight::control(0),
+                Flight::control(1),
+                Flight {
+                    endpoint: 3,
+                    out_packets: (2, 5),
+                    out_size: (150, 350),
+                    in_packets: (3, 7),
+                    in_size: (400, 900),
+                    iat_ms: (10.0, 40.0),
+                    payload: PayloadKind::Markup,
+                },
+                tv_telemetry(5),
+            ],
+            activities: vec![
+                {
+                    // Menu content rides TLS + CDN; the region-detected
+                    // catalog adds a small plaintext fetch.
+                    let mut m = menu(&[0, 4]);
+                    m.flights.push(Flight {
+                        endpoint: 3,
+                        out_packets: (2, 4),
+                        out_size: (150, 300),
+                        in_packets: (3, 6),
+                        in_size: (400, 800),
+                        iat_ms: (10.0, 40.0),
+                        payload: PayloadKind::Markup,
+                    });
+                    m.flights.push(tv_telemetry(5));
+                    m
+                },
+                voice(0, 1.1, LOCAL),
+                tweak("volume", 0, PayloadKind::Ciphertext, LOCAL),
+            ],
+            pii_leaks: vec![PiiLeak {
+                endpoint: 2,
+                kind: PiiKind::Geolocation,
+                encoding: PiiEncoding::Plain,
+                trigger: PiiTrigger::OnPower,
+                // The omtrdc endpoint is only used from a US egress, so the
+                // leak can only materialize at the US site.
+                site_filter: Some(crate::lab::LabSite::Us),
+            }],
+            idle: IdleBehavior {
+                spontaneous: &[("menu", 0.2)],
+                ..IdleBehavior::default()
+            },
+        },
+        DeviceSpec {
+            name: "Fire TV",
+            category: Tv,
+            availability: Both,
+            manufacturer_org: "Amazon",
+            oui: [0xfc, 0x65, 0xdf],
+            endpoints: vec![
+                Endpoint::tls("api.amazon.com"),
+                Endpoint::tls("api.netflix.com"),
+                Endpoint::tls("atv-ext.amazonaws.com"),
+                // §4.2: branch.io contacted by Fire TV during power — and
+                // only from a US egress.
+                Endpoint::tls("api.branch.io").only_via(Region::Americas),
+                Endpoint::tls("images.cloudfront.net"),
+                Endpoint {
+                    host: "device-metrics.amazon.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(8888),
+                    egress_filter: None,
+                },
+            ],
+            // TVs preload partner tiles at boot — §4.3: "nearly all TV
+            // devices contact Netflix even though we never configured any
+            // TV with a Netflix account."
+            power_flights: vec![
+                Flight::control(0),
+                Flight::control(1),
+                Flight::control(2),
+                Flight::control(3),
+                tv_telemetry(5),
+            ],
+            activities: vec![
+                {
+                    let mut m = menu(&[0, 2, 4]);
+                    m.flights.push(tv_telemetry(5));
+                    m
+                },
+                voice(0, 1.0, LOCAL),
+                tweak("volume", 0, PayloadKind::Ciphertext, LOCAL),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                spontaneous: &[("menu", 0.25)],
+                keepalives_per_hour: 10.0,
+                ..IdleBehavior::default()
+            },
+        },
+        DeviceSpec {
+            name: "Roku TV",
+            category: Tv,
+            availability: Both,
+            manufacturer_org: "Roku",
+            oui: [0xac, 0x3a, 0x7a],
+            endpoints: vec![
+                Endpoint::tls("api.roku.com"),
+                Endpoint::tls("cdn.netflix.com"),
+                Endpoint::http("ads.doubleclick.net"),
+                Endpoint::tls("image.akamaihd.net"),
+                Endpoint::tls("roku-logs.us-east-1.amazonaws.com"),
+                Endpoint {
+                    host: "ecp.roku.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(8060),
+                    egress_filter: None,
+                },
+            ],
+            power_flights: vec![
+                Flight::control(0),
+                Flight::control(1),
+                Flight::control(2),
+                Flight::control(4),
+                tv_telemetry(5),
+            ],
+            activities: vec![
+                {
+                    let mut m = menu(&[0, 1, 3]);
+                    m.flights.push(tv_telemetry(5));
+                    m
+                },
+                tweak("volume", 0, PayloadKind::Ciphertext, LOCAL),
+                {
+                    let mut a = tweak("remote", 0, PayloadKind::Ciphertext, &[LanApp]);
+                    a.flights[0].out_packets = (4, 10);
+                    a
+                },
+            ],
+            pii_leaks: vec![PiiLeak {
+                endpoint: 2,
+                kind: PiiKind::DeviceName,
+                encoding: PiiEncoding::Plain,
+                trigger: PiiTrigger::OnActivity("menu"),
+                site_filter: None,
+            }],
+            idle: IdleBehavior {
+                spontaneous: &[("menu", 0.4), ("remote", 0.05)],
+                ..IdleBehavior::default()
+            },
+        },
+        DeviceSpec {
+            name: "Apple TV",
+            category: Tv,
+            availability: Both,
+            manufacturer_org: "Apple",
+            oui: [0x90, 0xdd, 0x5d],
+            endpoints: vec![
+                Endpoint::tls("api.apple.com"),
+                Endpoint::tls("play.icloud.com"),
+                Endpoint {
+                    host: "img.mzstatic.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::Quic,
+                    egress_filter: None,
+                },
+            ],
+            power_flights: vec![Flight::control(0), Flight::control(1)],
+            activities: vec![
+                {
+                    let mut m = menu(&[0, 2]);
+                    let mut t = tv_telemetry(1);
+                    t.payload = PayloadKind::Ciphertext;
+                    m.flights.push(t);
+                    m
+                },
+                voice(0, 0.9, LOCAL),
+                tweak("volume", 0, PayloadKind::Ciphertext, LOCAL),
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                // Table 11: Apple TV refreshes its menu content often when
+                // idle (17 US / 68 UK detections).
+                spontaneous: &[("menu", 1.5), ("voice", 0.05)],
+                ..IdleBehavior::default()
+            },
+        },
+        // ——— US-only ———
+        DeviceSpec {
+            name: "LG TV",
+            category: Tv,
+            availability: UsOnly,
+            manufacturer_org: "LG",
+            oui: [0xcc, 0x2d, 0x8c],
+            endpoints: vec![
+                Endpoint::tls("api.lgtvsdp.com"),
+                Endpoint::tls("www.netflix.com"),
+                Endpoint::http("ad.lgsmartad.com"),
+                Endpoint::tls("cdn.akamai.net"),
+                Endpoint {
+                    host: "rdx2.lgtvsdp.com",
+                    ip_org: None,
+                    protocol: EndpointProtocol::ProprietaryTcp(9741),
+                    egress_filter: None,
+                },
+            ],
+            power_flights: vec![
+                Flight::control(0),
+                Flight::control(1),
+                Flight {
+                    endpoint: 2,
+                    out_packets: (2, 6),
+                    out_size: (150, 400),
+                    in_packets: (2, 6),
+                    in_size: (200, 700),
+                    iat_ms: (15.0, 60.0),
+                    payload: PayloadKind::Markup,
+                },
+                tv_telemetry(4),
+            ],
+            activities: vec![
+                {
+                    let mut m = menu(&[0, 3]);
+                    m.flights.push(tv_telemetry(4));
+                    m
+                },
+                voice(0, 1.2, LOCAL),
+                tweak("volume", 0, PayloadKind::Ciphertext, LOCAL),
+                {
+                    let mut a = tweak("off", 0, PayloadKind::Ciphertext, LOCAL);
+                    a.kind = OnOff;
+                    a
+                },
+            ],
+            pii_leaks: vec![],
+            idle: IdleBehavior {
+                spontaneous: &[("menu", 0.1)],
+                ..IdleBehavior::default()
+            },
+        },
+    ]
+}

@@ -1,0 +1,209 @@
+//! The two testbeds (§3.2): addressing, gateway, and VPN egress.
+
+use crate::catalog;
+use crate::device::DeviceSpec;
+use iot_geodb::geo::Region;
+use iot_net::mac::MacAddr;
+use iot_net::packet::PacketBuilder;
+use serde::Serialize;
+use std::net::Ipv4Addr;
+
+/// Which lab a device is deployed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum LabSite {
+    /// Northeastern University, Boston (US).
+    Us,
+    /// Imperial College London (UK).
+    Uk,
+}
+
+impl LabSite {
+    /// Both sites.
+    pub fn all() -> [LabSite; 2] {
+        [LabSite::Us, LabSite::Uk]
+    }
+
+    /// Report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            LabSite::Us => "US",
+            LabSite::Uk => "UK",
+        }
+    }
+
+    /// The lab's native egress region.
+    pub fn native_egress(self) -> Region {
+        match self {
+            LabSite::Us => Region::Americas,
+            LabSite::Uk => Region::Europe,
+        }
+    }
+
+    /// Egress region in use: the native one, or — over the VPN tunnel —
+    /// the *other* lab's (§3.2: "VPN tunnels that connect the US lab to
+    /// the UK lab and vice versa").
+    pub fn egress(self, vpn: bool) -> Region {
+        if vpn {
+            match self {
+                LabSite::Us => Region::Europe,
+                LabSite::Uk => Region::Americas,
+            }
+        } else {
+            self.native_egress()
+        }
+    }
+
+    /// The lab's private IoT /24 subnet.
+    pub fn subnet(self) -> Ipv4Addr {
+        match self {
+            LabSite::Us => Ipv4Addr::new(192, 168, 10, 0),
+            LabSite::Uk => Ipv4Addr::new(192, 168, 20, 0),
+        }
+    }
+}
+
+/// A device as deployed in one lab: its spec plus assigned addresses.
+#[derive(Debug, Clone)]
+pub struct DeviceInstance {
+    /// Index into the catalog.
+    pub spec_index: usize,
+    /// Deployment site.
+    pub site: LabSite,
+    /// Assigned hardware address (vendor OUI + stable suffix).
+    pub mac: MacAddr,
+    /// Assigned private address in the lab subnet.
+    pub ip: Ipv4Addr,
+}
+
+impl DeviceInstance {
+    /// The device's spec.
+    pub fn spec(&self) -> &'static DeviceSpec {
+        &catalog::all()[self.spec_index]
+    }
+
+    /// A packet builder for device → gateway frames.
+    pub fn builder_out(&self, dst_ip: Ipv4Addr) -> PacketBuilder {
+        PacketBuilder::new(self.mac, Lab::GATEWAY_MAC, self.ip, dst_ip)
+    }
+
+    /// A packet builder for gateway → device frames.
+    pub fn builder_in(&self, src_ip: Ipv4Addr) -> PacketBuilder {
+        PacketBuilder::new(Lab::GATEWAY_MAC, self.mac, src_ip, self.ip)
+    }
+}
+
+/// A deployed testbed: every catalog device available at the site, with
+/// stable addressing.
+#[derive(Debug, Clone)]
+pub struct Lab {
+    /// Deployment site.
+    pub site: LabSite,
+    /// Deployed devices.
+    pub devices: Vec<DeviceInstance>,
+}
+
+impl Lab {
+    /// The gateway server's MAC on the IoT-facing bridge.
+    pub const GATEWAY_MAC: MacAddr = MacAddr::new(0x00, 0x16, 0x3e, 0x00, 0x00, 0x01);
+
+    /// Deploys the lab: devices are assigned consecutive host addresses
+    /// starting at `.10` and MACs formed from the vendor OUI plus a stable
+    /// per-device suffix.
+    pub fn deploy(site: LabSite) -> Lab {
+        let subnet = site.subnet().octets();
+        let devices = catalog::all()
+            .iter()
+            .enumerate()
+            .filter(|(_, spec)| spec.available_at(site))
+            .enumerate()
+            .map(|(host_idx, (spec_index, spec))| {
+                let suffix = crate::util::stable_seed(spec.name, site as u64);
+                let mac = MacAddr::new(
+                    spec.oui[0],
+                    spec.oui[1],
+                    spec.oui[2],
+                    (suffix >> 16) as u8,
+                    (suffix >> 8) as u8,
+                    suffix as u8,
+                );
+                DeviceInstance {
+                    spec_index,
+                    site,
+                    mac,
+                    ip: Ipv4Addr::new(subnet[0], subnet[1], subnet[2], 10 + host_idx as u8),
+                }
+            })
+            .collect();
+        Lab { site, devices }
+    }
+
+    /// Finds a deployed device by catalog name.
+    pub fn device(&self, name: &str) -> Option<&DeviceInstance> {
+        self.devices.iter().find(|d| d.spec().name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploy_counts_match_paper() {
+        let us = Lab::deploy(LabSite::Us);
+        let uk = Lab::deploy(LabSite::Uk);
+        assert_eq!(us.devices.len(), 46, "US devices");
+        assert_eq!(uk.devices.len(), 35, "UK devices");
+        let common = us
+            .devices
+            .iter()
+            .filter(|d| d.spec().available_at(LabSite::Uk))
+            .count();
+        assert_eq!(common, 26, "common devices");
+    }
+
+    #[test]
+    fn addresses_unique_within_lab() {
+        for site in LabSite::all() {
+            let lab = Lab::deploy(site);
+            let mut ips: Vec<_> = lab.devices.iter().map(|d| d.ip).collect();
+            let mut macs: Vec<_> = lab.devices.iter().map(|d| d.mac).collect();
+            ips.sort();
+            ips.dedup();
+            macs.sort();
+            macs.dedup();
+            assert_eq!(ips.len(), lab.devices.len());
+            assert_eq!(macs.len(), lab.devices.len());
+        }
+    }
+
+    #[test]
+    fn macs_carry_vendor_oui() {
+        let us = Lab::deploy(LabSite::Us);
+        for d in &us.devices {
+            assert_eq!(d.mac.oui(), d.spec().oui, "{}", d.spec().name);
+        }
+    }
+
+    #[test]
+    fn vpn_swaps_egress() {
+        assert_eq!(LabSite::Us.egress(false), Region::Americas);
+        assert_eq!(LabSite::Us.egress(true), Region::Europe);
+        assert_eq!(LabSite::Uk.egress(false), Region::Europe);
+        assert_eq!(LabSite::Uk.egress(true), Region::Americas);
+    }
+
+    #[test]
+    fn subnets_disjoint() {
+        assert_ne!(LabSite::Us.subnet(), LabSite::Uk.subnet());
+    }
+
+    #[test]
+    fn common_device_same_model_distinct_units() {
+        let us = Lab::deploy(LabSite::Us);
+        let uk = Lab::deploy(LabSite::Uk);
+        let us_dot = us.device("Echo Dot").unwrap();
+        let uk_dot = uk.device("Echo Dot").unwrap();
+        assert_eq!(us_dot.spec().name, uk_dot.spec().name);
+        assert_ne!(us_dot.mac, uk_dot.mac, "separate physical units");
+    }
+}

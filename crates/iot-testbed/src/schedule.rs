@@ -1,0 +1,250 @@
+//! The full experiment campaign of §3.3.
+//!
+//! The paper ran 34,586 controlled experiments: automated interactions
+//! repeated ≥30×, manual (physical) interactions ≥3×, power experiments
+//! ≥3× per device, everything repeated in both labs and again over the
+//! VPN, plus ~112 hours of idle capture. [`Campaign`] enumerates the same
+//! grid; [`Campaign::run`] streams experiments to a consumer so the whole
+//! corpus never has to sit in memory at once.
+
+use crate::experiment::{run_idle, run_interaction, run_power, LabeledExperiment};
+use crate::lab::{Lab, LabSite};
+use iot_geodb::registry::GeoDb;
+
+/// Scaling knobs for the campaign. Defaults mirror §3.3; tests shrink them.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Repetitions of each automated interaction (paper: ≥30; the fleet
+    /// average implied by the 34,586 total is higher, hence 40 here).
+    pub automated_reps: u32,
+    /// Repetitions of each manual interaction (paper: ≥3).
+    pub manual_reps: u32,
+    /// Repetitions of each power experiment (paper: ≥3).
+    pub power_reps: u32,
+    /// Idle capture hours per (lab, vpn) combination (paper: ~28–31).
+    pub idle_hours: f64,
+    /// Include VPN-egress repetitions of everything.
+    pub include_vpn: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            automated_reps: 40,
+            manual_reps: 4,
+            power_reps: 3,
+            idle_hours: 28.0,
+            include_vpn: true,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A reduced grid for tests and quick runs.
+    pub fn quick() -> Self {
+        CampaignConfig {
+            automated_reps: 4,
+            manual_reps: 2,
+            power_reps: 2,
+            idle_hours: 1.0,
+            include_vpn: true,
+        }
+    }
+}
+
+/// The experiment campaign over both labs.
+#[derive(Debug)]
+pub struct Campaign {
+    /// Configuration in effect.
+    pub config: CampaignConfig,
+    labs: Vec<Lab>,
+}
+
+impl Campaign {
+    /// Builds the campaign for both labs.
+    pub fn new(config: CampaignConfig) -> Self {
+        Campaign {
+            config,
+            labs: vec![Lab::deploy(LabSite::Us), Lab::deploy(LabSite::Uk)],
+        }
+    }
+
+    /// The deployed labs.
+    pub fn labs(&self) -> &[Lab] {
+        &self.labs
+    }
+
+    /// Number of controlled experiments the grid will produce (power +
+    /// interactions, across labs and VPN settings), mirroring the paper's
+    /// 34,586 figure.
+    pub fn controlled_experiment_count(&self) -> u64 {
+        let mut count = 0u64;
+        let vpn_factor = if self.config.include_vpn { 2 } else { 1 };
+        for lab in &self.labs {
+            for device in &lab.devices {
+                let spec = device.spec();
+                count += u64::from(self.config.power_reps) * vpn_factor;
+                for activity in &spec.activities {
+                    for method in activity.methods {
+                        let reps = if method.is_automated() {
+                            self.config.automated_reps
+                        } else {
+                            self.config.manual_reps
+                        };
+                        count += u64::from(reps) * vpn_factor;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Streams every controlled experiment (power + interaction) to
+    /// `consume`, in a deterministic order.
+    pub fn run<F: FnMut(LabeledExperiment)>(&self, db: &GeoDb, mut consume: F) {
+        let vpn_options: &[bool] = if self.config.include_vpn {
+            &[false, true]
+        } else {
+            &[false]
+        };
+        for lab in &self.labs {
+            for device in &lab.devices {
+                let spec = device.spec();
+                for &vpn in vpn_options {
+                    for rep in 0..self.config.power_reps {
+                        consume(run_power(db, device, vpn, rep, 0));
+                    }
+                    for activity in &spec.activities {
+                        for &method in activity.methods {
+                            let reps = if method.is_automated() {
+                                self.config.automated_reps
+                            } else {
+                                self.config.manual_reps
+                            };
+                            for rep in 0..reps {
+                                consume(run_interaction(
+                                    db, device, activity, method, vpn, rep, 0,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Streams experiments for a single device (all its interactions at
+    /// native egress), used to train per-device classifiers.
+    pub fn run_device<F: FnMut(LabeledExperiment)>(
+        &self,
+        db: &GeoDb,
+        device: &crate::lab::DeviceInstance,
+        vpn: bool,
+        mut consume: F,
+    ) {
+        let spec = device.spec();
+        for rep in 0..self.config.power_reps.max(self.config.automated_reps) {
+            consume(run_power(db, device, vpn, rep, 0));
+        }
+        for activity in &spec.activities {
+            for &method in activity.methods {
+                let reps = if method.is_automated() {
+                    self.config.automated_reps
+                } else {
+                    self.config.manual_reps
+                };
+                for rep in 0..reps {
+                    consume(run_interaction(db, device, activity, method, vpn, rep, 0));
+                }
+            }
+        }
+    }
+
+    /// Runs the idle captures for every device at every (lab, vpn)
+    /// combination.
+    pub fn run_idle<F: FnMut(LabeledExperiment)>(&self, db: &GeoDb, mut consume: F) {
+        let vpn_options: &[bool] = if self.config.include_vpn {
+            &[false, true]
+        } else {
+            &[false]
+        };
+        for lab in &self.labs {
+            for device in &lab.devices {
+                for &vpn in vpn_options {
+                    consume(run_idle(db, device, vpn, self.config.idle_hours, 0));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_size_is_in_papers_ballpark() {
+        let campaign = Campaign::new(CampaignConfig::default());
+        let n = campaign.controlled_experiment_count();
+        // §3.3: 34,586 controlled experiments. Our grid lands in the same
+        // range; exact parity would require the authors' per-device rep
+        // bookkeeping.
+        assert!(
+            (25_000..=45_000).contains(&n),
+            "controlled experiment count {n}"
+        );
+    }
+
+    #[test]
+    fn quick_campaign_streams_experiments() {
+        let db = GeoDb::new();
+        let campaign = Campaign::new(CampaignConfig {
+            automated_reps: 1,
+            manual_reps: 1,
+            power_reps: 1,
+            idle_hours: 0.1,
+            include_vpn: false,
+        });
+        let mut count = 0u64;
+        let mut seen_device = std::collections::HashSet::new();
+        campaign.run(&db, |exp| {
+            count += 1;
+            seen_device.insert(exp.device_name);
+            assert!(!exp.packets.is_empty(), "{} {}", exp.device_name, exp.label);
+        });
+        assert_eq!(count, campaign.controlled_experiment_count());
+        assert_eq!(seen_device.len(), 55, "every model exercised");
+    }
+
+    #[test]
+    fn per_device_stream_covers_all_activities() {
+        let db = GeoDb::new();
+        let campaign = Campaign::new(CampaignConfig::quick());
+        let lab = &campaign.labs()[0];
+        let dev = lab.device("Samsung TV").unwrap();
+        let mut labels = std::collections::HashSet::new();
+        campaign.run_device(&db, dev, false, |exp| {
+            labels.insert(exp.label.clone());
+        });
+        assert!(labels.contains("power"));
+        assert!(labels.contains("local_menu"));
+        assert!(labels.contains("local_voice"));
+        assert!(labels.contains("local_volume"));
+    }
+
+    #[test]
+    fn idle_covers_all_devices() {
+        let db = GeoDb::new();
+        let campaign = Campaign::new(CampaignConfig {
+            idle_hours: 0.05,
+            include_vpn: false,
+            ..CampaignConfig::quick()
+        });
+        let mut count = 0;
+        campaign.run_idle(&db, |exp| {
+            assert_eq!(exp.label, "idle");
+            count += 1;
+        });
+        assert_eq!(count, 81, "one idle capture per deployed device");
+    }
+}

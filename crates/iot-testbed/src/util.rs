@@ -1,0 +1,81 @@
+//! Small utilities: base64 encoding (for PII-leak encodings) and stable
+//! hashing.
+
+/// The standard base64 alphabet.
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard base64 with padding. Used to embed device
+/// identifiers in payloads under the encodings the paper's PII scanner must
+/// recognize (§6.1 "we simply search for any PII known (in various
+/// encodings)").
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = u32::from(b[0]) << 16 | u32::from(b[1]) << 8 | u32::from(b[2]);
+        out.push(ALPHABET[(n >> 18 & 63) as usize] as char);
+        out.push(ALPHABET[(n >> 12 & 63) as usize] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6 & 63) as usize] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[(n & 63) as usize] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Encodes bytes as lowercase hex.
+pub fn hex_encode(data: &[u8]) -> String {
+    data.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Stable FNV-1a-based mixing of a string and salt into a `u64` seed, so
+/// every (device, experiment, repetition) tuple gets an independent but
+/// reproducible RNG stream.
+pub fn stable_seed(name: &str, salt: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt.rotate_left(17);
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (salt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_known_vectors() {
+        // RFC 4648 test vectors.
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn hex_known() {
+        assert_eq!(hex_encode(&[0xa4, 0xcf, 0x12]), "a4cf12");
+        assert_eq!(hex_encode(&[]), "");
+    }
+
+    #[test]
+    fn seed_stable_and_salted() {
+        assert_eq!(stable_seed("echo-dot", 1), stable_seed("echo-dot", 1));
+        assert_ne!(stable_seed("echo-dot", 1), stable_seed("echo-dot", 2));
+        assert_ne!(stable_seed("echo-dot", 1), stable_seed("echo-spot", 1));
+    }
+}

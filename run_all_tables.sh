@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerates every paper table/figure. IOT_SCALE=full reproduces the
+# paper-scale grid; this script uses medium for corpus analyses and
+# lighter scales for the model-training tables to bound runtime.
+set -e
+cd "$(dirname "$0")"
+BIN=./target/release
+mkdir -p results
+for t in table1 entropy_calibration ablation table2 table3 table4 figure2 table5 table6 table7 table8 summary; do
+  echo "=== $t (medium) ==="
+  IOT_SCALE="${IOT_SCALE_CORPUS:-medium}" $BIN/$t
+done
+echo "=== table9 (medium) ==="
+IOT_SCALE="${IOT_SCALE_INFER:-medium}" $BIN/table9 2>/dev/null
+for t in table10 table11 user_study; do
+  echo "=== $t (quick) ==="
+  IOT_SCALE=quick $BIN/$t 2>/dev/null
+done

@@ -1,0 +1,239 @@
+//! `moniotr` — a command-line front end to the simulated testbed and the
+//! analysis pipeline, working through the same on-disk capture layout the
+//! real Mon(IoT)r lab produced.
+//!
+//! ```text
+//! moniotr devices                              list the 81-device catalog
+//! moniotr capture <device> [uk] [vpn] [DIR]    run power + all interactions → pcap dir
+//! moniotr analyze <device-dir>                 destinations / encryption / PII per label
+//! moniotr idle <device> <hours>                idle capture + traffic-unit summary
+//! ```
+
+use intl_iot::analysis::encryption::{classify_flow, ClassBytes};
+use intl_iot::analysis::flows::ExperimentFlows;
+use intl_iot::analysis::pii::PiiPatterns;
+use intl_iot::analysis::unexpected::segment_units;
+use intl_iot::entropy::{EncryptionClass, Thresholds};
+use intl_iot::geodb::party::classify;
+use intl_iot::geodb::registry::GeoDb;
+use intl_iot::testbed::capture::{read_device_dir, slice_by_label, CaptureStore};
+use intl_iot::testbed::experiment::{run_idle, run_interaction, run_power, LabeledExperiment};
+use intl_iot::testbed::lab::{Lab, LabSite};
+use intl_iot::testbed::traffic::identity_of;
+use intl_iot::testbed::{catalog, device::Availability};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("devices") => cmd_devices(),
+        Some("capture") => cmd_capture(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("idle") => cmd_idle(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: moniotr devices\n       moniotr capture <device> [uk] [vpn] [out-dir]\n       \
+                 moniotr analyze <device-dir>\n       moniotr idle <device> <hours>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_devices() -> CliResult {
+    for spec in catalog::all() {
+        let flags = match spec.availability {
+            Availability::UsOnly => "US   ",
+            Availability::UkOnly => "   UK",
+            Availability::Both => "US+UK",
+        };
+        println!(
+            "{flags}  {:<16} {:<24} {}",
+            spec.category.name(),
+            spec.name,
+            spec.activities
+                .iter()
+                .map(|a| a.name)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+    Ok(())
+}
+
+fn find_device<'a>(lab: &'a Lab, name: &str) -> Result<&'a intl_iot::testbed::lab::DeviceInstance, String> {
+    lab.device(name).ok_or_else(|| {
+        format!(
+            "device {name:?} not deployed at {}; run `moniotr devices`",
+            lab.site.name()
+        )
+    })
+}
+
+fn cmd_capture(args: &[String]) -> CliResult {
+    let name = args.first().ok_or("capture: device name required")?;
+    let site = if args.iter().any(|a| a == "uk") {
+        LabSite::Uk
+    } else {
+        LabSite::Us
+    };
+    let vpn = args.iter().any(|a| a == "vpn");
+    let out: PathBuf = args
+        .iter()
+        .skip(1)
+        .find(|a| a.as_str() != "uk" && a.as_str() != "vpn")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("captures"));
+
+    let db = GeoDb::new();
+    let lab = Lab::deploy(site);
+    let device = find_device(&lab, name)?;
+    let spec = device.spec();
+
+    let mut store = CaptureStore::new();
+    let mut total = 0usize;
+    let mut record = |exp: LabeledExperiment| {
+        total += exp.packets.len();
+        store.append(&exp);
+    };
+    for rep in 0..3 {
+        record(run_power(&db, device, vpn, rep, 0));
+    }
+    for activity in &spec.activities {
+        for &method in activity.methods {
+            for rep in 0..3 {
+                record(run_interaction(&db, device, activity, method, vpn, rep, 0));
+            }
+        }
+    }
+    let written = store.write_to(&out)?;
+    println!(
+        "captured {total} packets for {name} ({} lab{}) into:",
+        site.name(),
+        if vpn { ", VPN egress" } else { "" }
+    );
+    for path in written {
+        println!("  {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> CliResult {
+    let dir = args.first().ok_or("analyze: device directory required")?;
+    let dir = Path::new(dir);
+    let device_id = dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or("analyze: bad path")?;
+    let site = match dir.parent().and_then(|p| p.file_name()).and_then(|n| n.to_str()) {
+        Some("uk") => LabSite::Uk,
+        _ => LabSite::Us,
+    };
+    let spec = catalog::all()
+        .iter()
+        .find(|s| s.id() == device_id)
+        .ok_or_else(|| format!("unknown device id {device_id:?}"))?;
+
+    let (packets, labels) = read_device_dir(dir)?;
+    println!(
+        "{}: {} packets, {} labeled experiments\n",
+        spec.name,
+        packets.len(),
+        labels.len()
+    );
+
+    let db = GeoDb::new();
+    let lab = Lab::deploy(site);
+    let identity = identity_of(find_device(&lab, spec.name)?);
+    let patterns = PiiPatterns::for_identity(&identity);
+    let thresholds = Thresholds::default();
+
+    println!(
+        "{:<22} {:>7} {:>8}  {:<40} {}",
+        "label", "packets", "unenc%", "destinations (party)", "PII"
+    );
+    for span in &labels {
+        let slice = slice_by_label(&packets, span);
+        let pseudo = LabeledExperiment {
+            device_name: spec.name,
+            site,
+            vpn: false,
+            kind: intl_iot::testbed::experiment::ExperimentKind::Interaction,
+            label: span.label.clone(),
+            activity: None,
+            rep: span.rep,
+            packets: slice.to_vec(),
+        };
+        let flows = ExperimentFlows::from_experiment(&pseudo);
+        let mut bytes = ClassBytes::default();
+        let mut dests = std::collections::BTreeSet::new();
+        let mut pii = std::collections::BTreeSet::new();
+        for lf in &flows.flows {
+            let class = classify_flow(lf, &thresholds);
+            let n = lf.flow.total_bytes();
+            match class {
+                EncryptionClass::LikelyUnencrypted => bytes.unencrypted += n,
+                EncryptionClass::LikelyEncrypted => bytes.encrypted += n,
+                EncryptionClass::Unknown => bytes.unknown += n,
+            }
+            for (kind, enc) in patterns
+                .search(&lf.flow.payload_out)
+                .into_iter()
+                .chain(patterns.search(&lf.flow.payload_in))
+            {
+                pii.insert(format!("{kind:?}/{enc}"));
+            }
+        }
+        for lf in flows.internet_flows() {
+            if let Some((org, role)) = lf.domain.as_deref().and_then(|d| db.org_for_domain(d)) {
+                let party = classify(org, Some(role), spec.manufacturer_org);
+                dests.insert(format!("{} ({party})", org.name));
+            }
+        }
+        println!(
+            "{:<22} {:>7} {:>7.1}%  {:<40} {}",
+            format!("{}#{}", span.label, span.rep),
+            slice.len(),
+            bytes.percent(EncryptionClass::LikelyUnencrypted),
+            dests.into_iter().collect::<Vec<_>>().join(", "),
+            if pii.is_empty() {
+                "-".to_string()
+            } else {
+                pii.into_iter().collect::<Vec<_>>().join(", ")
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_idle(args: &[String]) -> CliResult {
+    let name = args.first().ok_or("idle: device name required")?;
+    let hours: f64 = args
+        .get(1)
+        .and_then(|h| h.parse().ok())
+        .ok_or("idle: hours required, e.g. `moniotr idle \"Zmodo Doorbell\" 4`")?;
+    let db = GeoDb::new();
+    let lab = Lab::deploy(LabSite::Us);
+    let device = find_device(&lab, name)?;
+    let exp = run_idle(&db, device, false, hours, 0);
+    let units = segment_units(&exp.packets, 2.0);
+    println!(
+        "{name}: {} packets / {} bytes over {hours}h idle; {} traffic units (2s gap)",
+        exp.packets.len(),
+        exp.total_bytes(),
+        units.len()
+    );
+    let classifiable = units.iter().filter(|u| u.len() >= 4).count();
+    println!("{classifiable} units large enough to classify (≥4 packets)");
+    Ok(())
+}

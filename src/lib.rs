@@ -1,0 +1,26 @@
+//! # intl-iot
+//!
+//! Umbrella crate for the reproduction of *Information Exposure From
+//! Consumer IoT Devices: A Multidimensional, Network-Informed Measurement
+//! Approach* (Ren et al., ACM IMC 2019).
+//!
+//! Re-exports every subsystem crate so examples and downstream users can
+//! depend on a single package:
+//!
+//! * [`net`] — packet wire formats, pcap I/O, flow reconstruction.
+//! * [`protocols`] — DNS/TLS/HTTP/NTP/DHCP/MQTT/QUIC codecs + identifier.
+//! * [`entropy`] — byte-entropy encryption classification (§5.1).
+//! * [`geodb`] — org/party/country labeling of destinations (§4.1).
+//! * [`ml`] — random forests, metrics, cross-validation (§6.3).
+//! * [`testbed`] — the simulated Mon(IoT)r labs and 81 device models (§3).
+//! * [`analysis`] — the multidimensional analysis pipeline (§4–§7).
+
+#![forbid(unsafe_code)]
+
+pub use iot_analysis as analysis;
+pub use iot_entropy as entropy;
+pub use iot_geodb as geodb;
+pub use iot_ml as ml;
+pub use iot_net as net;
+pub use iot_protocols as protocols;
+pub use iot_testbed as testbed;

@@ -1,0 +1,142 @@
+//! End-to-end integration: simulate → capture → analyze, across crates.
+
+use intl_iot::analysis::destinations::{ColumnCtx, DestinationAnalysis, ExpGroup};
+use intl_iot::analysis::encryption::EncryptionAnalysis;
+use intl_iot::analysis::flows::ExperimentFlows;
+use intl_iot::entropy::EncryptionClass;
+use intl_iot::geodb::party::PartyType;
+use intl_iot::geodb::registry::GeoDb;
+use intl_iot::testbed::lab::LabSite;
+use intl_iot::testbed::schedule::{Campaign, CampaignConfig};
+
+fn tiny_campaign() -> Campaign {
+    Campaign::new(CampaignConfig {
+        automated_reps: 1,
+        manual_reps: 1,
+        power_reps: 1,
+        idle_hours: 0.2,
+        include_vpn: true,
+    })
+}
+
+#[test]
+fn full_campaign_streams_valid_experiments() {
+    let db = GeoDb::new();
+    let campaign = tiny_campaign();
+    let mut count = 0u64;
+    let mut bytes = 0u64;
+    campaign.run(&db, |exp| {
+        count += 1;
+        bytes += exp.total_bytes();
+        // Every frame of every experiment is valid, parseable traffic.
+        if count % 37 == 0 {
+            for p in &exp.packets {
+                p.parse_frame().expect("frame parses");
+            }
+        }
+    });
+    assert_eq!(count, campaign.controlled_experiment_count());
+    assert!(bytes > 10_000_000, "campaign volume {bytes}");
+}
+
+#[test]
+fn destination_and_encryption_analyses_agree_on_corpus() {
+    let db = GeoDb::new();
+    let campaign = tiny_campaign();
+    let mut dest = DestinationAnalysis::new();
+    let mut enc = EncryptionAnalysis::default();
+    campaign.run(&db, |exp| {
+        let flows = ExperimentFlows::from_experiment(&exp);
+        dest.add_flows(&exp, &flows);
+        enc.add_flows(&exp, &flows);
+    });
+
+    // RQ1: support parties dominate third parties in every context.
+    for ctx in ColumnCtx::standard() {
+        let support = dest.unique_destinations_total(ctx, PartyType::Support);
+        let third = dest.unique_destinations_total(ctx, PartyType::Third);
+        assert!(
+            support > third,
+            "{}: support {support} vs third {third}",
+            ctx.header()
+        );
+    }
+
+    // RQ1: control ⊇ power destinations.
+    let us = ColumnCtx { site: LabSite::Us, vpn: false, common_only: false };
+    assert!(
+        dest.unique_destinations(us, ExpGroup::Control, PartyType::Support)
+            >= dest.unique_destinations(us, ExpGroup::Power, PartyType::Support)
+    );
+
+    // §9: most devices contact a non-first party.
+    let (with, total) = dest.devices_with_non_first_party();
+    assert_eq!(total, 81);
+    assert!(with >= 65, "devices with non-first parties: {with}/81");
+
+    // RQ2: every class of traffic exists, and no device exceeds 75%
+    // unencrypted (Table 5's top-left zero).
+    for site in LabSite::all() {
+        let hist_x = enc.quartile_histogram(site, false, false, EncryptionClass::LikelyUnencrypted);
+        assert_eq!(hist_x[0], 0, "{site:?}: no device >75% unencrypted");
+        let hist_enc = enc.quartile_histogram(site, false, false, EncryptionClass::LikelyEncrypted);
+        assert!(hist_enc[0] > 0, "{site:?}: some devices >75% encrypted");
+    }
+}
+
+#[test]
+fn regional_differences_exist_and_vpn_shifts_server_selection() {
+    let db = GeoDb::new();
+    let campaign = tiny_campaign();
+    let mut dest = DestinationAnalysis::new();
+    campaign.run(&db, |exp| dest.add_experiment(&exp));
+
+    // RQ6: both labs send most traffic out of the UK; the US lab keeps
+    // most traffic domestic (Figure 2).
+    let us_flows = dest.region_flows(LabSite::Us);
+    let total_us: u64 = us_flows.iter().map(|(_, _, b)| b).sum();
+    let domestic_us: u64 = us_flows
+        .iter()
+        .filter(|(_, c, _)| *c == intl_iot::geodb::Country::UnitedStates)
+        .map(|(_, _, b)| b)
+        .sum();
+    assert!(domestic_us * 2 > total_us, "US lab mostly domestic");
+
+    let uk_flows = dest.region_flows(LabSite::Uk);
+    let total_uk: u64 = uk_flows.iter().map(|(_, _, b)| b).sum();
+    let domestic_uk: u64 = uk_flows
+        .iter()
+        .filter(|(_, c, _)| *c == intl_iot::geodb::Country::UnitedKingdom)
+        .map(|(_, _, b)| b)
+        .sum();
+    assert!(domestic_uk * 2 < total_uk, "UK lab traffic leaves the UK");
+
+    // §9: far more UK devices contact out-of-region destinations.
+    let us_frac = dest.out_of_region_device_fraction(LabSite::Us);
+    let uk_frac = dest.out_of_region_device_fraction(LabSite::Uk);
+    assert!(
+        uk_frac > us_frac,
+        "out-of-region devices: UK {uk_frac:.2} vs US {us_frac:.2}"
+    );
+}
+
+#[test]
+fn idle_traffic_analyzable() {
+    let db = GeoDb::new();
+    let campaign = tiny_campaign();
+    let mut enc = EncryptionAnalysis::default();
+    let mut n = 0;
+    campaign.run_idle(&db, |exp| {
+        assert_eq!(exp.kind, intl_iot::testbed::experiment::ExperimentKind::Idle);
+        enc.add_experiment(&exp);
+        n += 1;
+    });
+    assert_eq!(n, 81 * 2, "one idle capture per device per egress");
+    let pct = enc.row_percent(
+        LabSite::Us,
+        false,
+        intl_iot::analysis::encryption::Table8Row::Idle,
+        EncryptionClass::LikelyEncrypted,
+    );
+    assert!(pct > 0.0, "idle traffic contains encrypted keepalives");
+}
