@@ -15,12 +15,11 @@ use iot_testbed::catalog;
 use iot_testbed::device::{ActivityKind, Availability, Category};
 use iot_testbed::experiment::{ExperimentKind, LabeledExperiment};
 use iot_testbed::lab::LabSite;
-use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 
 /// Experiment-type groups of Table 2's rows. A single experiment can fall
 /// into several (every controlled experiment is also "Control").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExpGroup {
     /// Idle captures.
     Idle,
@@ -70,7 +69,7 @@ impl ExpGroup {
 
 /// The eight column contexts used throughout the paper's tables:
 /// (lab, VPN?) × (all devices | common devices only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ColumnCtx {
     /// Lab site.
     pub site: LabSite,
@@ -238,6 +237,26 @@ impl DestinationAnalysis {
                 });
             entry.bytes += lf.flow.total_bytes();
             entry.groups |= groups;
+        }
+    }
+
+    /// Folds another analysis into this one. The result is identical to
+    /// having ingested both analyses' experiments into a single
+    /// accumulator, in any order: per-key labels (party, org, country)
+    /// are pure functions of the key, so only the byte and group
+    /// counters need combining on collision.
+    pub fn merge(&mut self, other: DestinationAnalysis) {
+        for (key, val) in other.observations {
+            match self.observations.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let entry = e.get_mut();
+                    entry.bytes += val.bytes;
+                    entry.groups |= val.groups;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(val);
+                }
+            }
         }
     }
 

@@ -19,7 +19,6 @@ use iot_testbed::catalog;
 use iot_testbed::device::{ActivityKind, Availability, Category};
 use iot_testbed::experiment::{ExperimentKind, LabeledExperiment};
 use iot_testbed::lab::LabSite;
-use serde::Serialize;
 use std::collections::HashMap;
 
 /// Entropy measurement unit: flows are chunked into pseudo-packets of this
@@ -31,7 +30,7 @@ pub const ENTROPY_CHUNK: usize = 160;
 pub const MEDIA_EXCLUSION_BYTES: u64 = 20_000;
 
 /// Byte counters per encryption class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassBytes {
     /// Bytes classified unencrypted (the paper's ✗ rows).
     pub unencrypted: u64,
@@ -78,7 +77,7 @@ impl ClassBytes {
 }
 
 /// Experiment-type rows of Table 8.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Table8Row {
     /// All controlled experiments.
     Control,
@@ -206,6 +205,23 @@ impl EncryptionAnalysis {
                     .or_default()
                     .add(class, bytes);
             }
+        }
+    }
+
+    /// Folds another analysis into this one. Byte counters are additive
+    /// and keyed identically, so merging shards is equivalent to serial
+    /// ingestion in any order. Panics if thresholds differ — shards must
+    /// classify with the same configuration for the merge to be sound.
+    pub fn merge(&mut self, other: EncryptionAnalysis) {
+        assert!(
+            self.thresholds == other.thresholds,
+            "merging encryption analyses with different thresholds"
+        );
+        for (key, cb) in other.per_device {
+            self.per_device.entry(key).or_default().merge(&cb);
+        }
+        for (key, cb) in other.per_row {
+            self.per_row.entry(key).or_default().merge(&cb);
         }
     }
 

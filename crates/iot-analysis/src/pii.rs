@@ -18,11 +18,11 @@ use iot_testbed::device::{PiiKind, PiiLeak};
 use iot_testbed::experiment::LabeledExperiment;
 use iot_testbed::lab::LabSite;
 use iot_testbed::traffic::DeviceIdentity;
+use iot_core::json::{Json, ToJson};
 use iot_testbed::util::{base64_encode, hex_encode};
-use serde::Serialize;
 
 /// One PII exposure finding.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PiiFinding {
     /// Device whose identifier leaked.
     pub device_name: String,
@@ -44,8 +44,52 @@ pub struct PiiFinding {
     pub experiment_label: String,
 }
 
+impl PiiFinding {
+    /// Total ordering for report emission. Findings accumulate in
+    /// ingestion order, which differs between the serial driver and the
+    /// sharded parallel one; sorting by this key before emitting makes
+    /// the report byte-identical across both.
+    pub fn sort_key(&self) -> impl Ord + '_ {
+        (
+            self.site,
+            self.vpn,
+            self.device_name.as_str(),
+            self.experiment_label.as_str(),
+            self.kind,
+            self.encoding,
+            self.domain.as_deref(),
+            self.org,
+        )
+    }
+}
+
+impl ToJson for PiiFinding {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("device_name", self.device_name.to_json());
+        j.set("site", self.site.name().to_json());
+        j.set("vpn", self.vpn.to_json());
+        j.set("kind", self.kind.name().to_json());
+        j.set("encoding", self.encoding.to_json());
+        j.set("domain", self.domain.to_json());
+        j.set("org", self.org.to_json());
+        j.set(
+            "party",
+            self.party
+                .map(|p| match p {
+                    PartyType::First => "First",
+                    PartyType::Support => "Support",
+                    PartyType::Third => "Third",
+                })
+                .to_json(),
+        );
+        j.set("experiment_label", self.experiment_label.to_json());
+        j
+    }
+}
+
 /// Identifier families the scanner knows (§6.2's findings).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PiiFindingKind {
     /// Device MAC address.
     MacAddress,
@@ -55,6 +99,18 @@ pub enum PiiFindingKind {
     Geolocation,
     /// User-assigned device name.
     DeviceName,
+}
+
+impl PiiFindingKind {
+    /// Stable label used in report JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            PiiFindingKind::MacAddress => "MacAddress",
+            PiiFindingKind::DeviceId => "DeviceId",
+            PiiFindingKind::Geolocation => "Geolocation",
+            PiiFindingKind::DeviceName => "DeviceName",
+        }
+    }
 }
 
 impl From<PiiKind> for PiiFindingKind {

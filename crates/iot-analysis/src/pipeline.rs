@@ -1,22 +1,33 @@
 //! Single-entry-point pipeline: run a campaign through every analysis and
 //! collect a serializable report — the programmatic equivalent of running
 //! all of `iot-bench`'s binaries at once.
+//!
+//! Two drivers produce byte-identical reports:
+//!
+//! - [`Pipeline::run_campaign`] streams every experiment serially.
+//! - [`Pipeline::run_campaign_parallel`] shards the (lab × device) grid
+//!   across `std::thread::scope` workers. Each worker owns a private
+//!   [`PipelineShard`] — no locks anywhere on the hot path — and the
+//!   shards are folded into the pipeline when the scope ends. Experiment
+//!   generation is seeded per (device, activity, rep, site, vpn), and
+//!   every accumulator merge is order-independent, so the fold is exactly
+//!   equivalent to serial ingestion.
 
 use crate::destinations::{ColumnCtx, DestinationAnalysis};
 use crate::encryption::EncryptionAnalysis;
 use crate::flows::ExperimentFlows;
 use crate::pii::{scan_experiment, PiiFinding};
+use iot_core::json::{Json, ToJson};
 use iot_entropy::EncryptionClass;
 use iot_geodb::party::PartyType;
 use iot_geodb::registry::GeoDb;
 use iot_testbed::lab::LabSite;
 use iot_testbed::schedule::{Campaign, CampaignConfig};
-use iot_testbed::traffic::identity_of;
-use serde::Serialize;
+use iot_testbed::traffic::{identity_of, DeviceIdentity};
 use std::collections::HashMap;
 
 /// Aggregate report over one campaign run.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct PipelineReport {
     /// Experiments ingested.
     pub experiments: u64,
@@ -28,8 +39,82 @@ pub struct PipelineReport {
     pub devices_with_non_first: (usize, usize),
     /// Percent of bytes unencrypted / encrypted / unknown per lab.
     pub encryption_mix: HashMap<String, [f64; 3]>,
-    /// All plaintext PII findings.
+    /// All plaintext PII findings, sorted by [`PiiFinding::sort_key`].
     pub pii_findings: Vec<PiiFinding>,
+}
+
+impl ToJson for PipelineReport {
+    /// Emits the report with deterministic bytes: map-backed members are
+    /// sorted by key and findings are pre-sorted by `finish`, so the same
+    /// campaign always yields the same JSON regardless of the driver
+    /// (serial or parallel) and of hash-map iteration order.
+    fn to_json(&self) -> Json {
+        let sorted_map = |m: &HashMap<String, usize>| {
+            let mut obj = Json::obj();
+            let mut keys: Vec<&String> = m.keys().collect();
+            keys.sort();
+            for k in keys {
+                obj.set(k, m[k].to_json());
+            }
+            obj
+        };
+        let mut mix = Json::obj();
+        let mut mix_keys: Vec<&String> = self.encryption_mix.keys().collect();
+        mix_keys.sort();
+        for k in mix_keys {
+            mix.set(k, self.encryption_mix[k].to_vec().to_json());
+        }
+        let mut j = Json::obj();
+        j.set("experiments", self.experiments.to_json());
+        j.set("support_destinations", sorted_map(&self.support_destinations));
+        j.set("third_destinations", sorted_map(&self.third_destinations));
+        j.set(
+            "devices_with_non_first",
+            Json::Arr(vec![
+                self.devices_with_non_first.0.to_json(),
+                self.devices_with_non_first.1.to_json(),
+            ]),
+        );
+        j.set("encryption_mix", mix);
+        j.set("pii_findings", self.pii_findings.to_json());
+        j
+    }
+}
+
+/// One worker's private accumulator slice. Built empty, fed a shard of
+/// the campaign, then folded into the owning [`Pipeline`]. All three
+/// members merge order-independently.
+struct PipelineShard {
+    destinations: DestinationAnalysis,
+    encryption: EncryptionAnalysis,
+    pii: Vec<PiiFinding>,
+    experiments: u64,
+}
+
+impl PipelineShard {
+    fn new() -> Self {
+        PipelineShard {
+            destinations: DestinationAnalysis::new(),
+            encryption: EncryptionAnalysis::default(),
+            pii: Vec::new(),
+            experiments: 0,
+        }
+    }
+
+    fn ingest(
+        &mut self,
+        db: &GeoDb,
+        identities: &HashMap<(&'static str, LabSite), DeviceIdentity>,
+        exp: iot_testbed::experiment::LabeledExperiment,
+    ) {
+        let flows = ExperimentFlows::from_experiment(&exp);
+        self.destinations.add_flows(&exp, &flows);
+        self.encryption.add_flows(&exp, &flows);
+        if let Some(identity) = identities.get(&(exp.device_name, exp.site)) {
+            self.pii.extend(scan_experiment(db, &exp, &flows, identity));
+        }
+        self.experiments += 1;
+    }
 }
 
 /// The pipeline driver. Owns the registry and the accumulated analyses so
@@ -51,6 +136,18 @@ impl Default for Pipeline {
     }
 }
 
+fn campaign_identities(
+    campaign: &Campaign,
+) -> HashMap<(&'static str, LabSite), DeviceIdentity> {
+    let mut identities = HashMap::new();
+    for lab in campaign.labs() {
+        for d in &lab.devices {
+            identities.insert((d.spec().name, d.site), identity_of(d));
+        }
+    }
+    identities
+}
+
 impl Pipeline {
     /// Creates an empty pipeline.
     pub fn new() -> Self {
@@ -63,26 +160,63 @@ impl Pipeline {
         }
     }
 
+    fn absorb(&mut self, shard: PipelineShard) {
+        self.destinations.merge(shard.destinations);
+        self.encryption.merge(shard.encryption);
+        self.pii.extend(shard.pii);
+        self.experiments += shard.experiments;
+    }
+
     /// Runs a full campaign (controlled + idle) through every analysis.
     pub fn run_campaign(&mut self, config: CampaignConfig) {
         let campaign = Campaign::new(config);
-        let mut identities = HashMap::new();
-        for lab in campaign.labs() {
-            for d in &lab.devices {
-                identities.insert((d.spec().name, d.site), identity_of(d));
-            }
-        }
+        let identities = campaign_identities(&campaign);
+        let mut shard = PipelineShard::new();
         let mut ingest = |exp: iot_testbed::experiment::LabeledExperiment| {
-            let flows = ExperimentFlows::from_experiment(&exp);
-            self.destinations.add_flows(&exp, &flows);
-            self.encryption.add_flows(&exp, &flows);
-            if let Some(identity) = identities.get(&(exp.device_name, exp.site)) {
-                self.pii.extend(scan_experiment(&self.db, &exp, &flows, identity));
-            }
-            self.experiments += 1;
+            shard.ingest(&self.db, &identities, exp);
         };
         campaign.run(&self.db, &mut ingest);
         campaign.run_idle(&self.db, &mut ingest);
+        self.absorb(shard);
+    }
+
+    /// Runs a full campaign with the (lab × device) grid sharded across
+    /// `workers` scoped threads. Each worker generates and analyzes its
+    /// own device subset into a private [`PipelineShard`]; the shards
+    /// are folded here afterwards. The resulting report is byte-identical
+    /// to [`Pipeline::run_campaign`]'s.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn run_campaign_parallel(&mut self, config: CampaignConfig, workers: usize) {
+        assert!(workers > 0, "workers must be positive");
+        let campaign = Campaign::new(config);
+        let identities = campaign_identities(&campaign);
+        // More workers than work units would leave idle threads behind.
+        let workers = workers.min(campaign.unit_count().max(1));
+        let db = &self.db;
+        let campaign_ref = &campaign;
+        let identities_ref = &identities;
+        let shards: Vec<PipelineShard> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|shard_idx| {
+                    scope.spawn(move || {
+                        let mut shard = PipelineShard::new();
+                        campaign_ref.run_shard(db, shard_idx, workers, |exp| {
+                            shard.ingest(db, identities_ref, exp);
+                        });
+                        shard
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pipeline worker panicked"))
+                .collect()
+        });
+        for shard in shards {
+            self.absorb(shard);
+        }
     }
 
     /// Builds the aggregate report.
@@ -117,13 +251,17 @@ impl Pipeline {
                 ],
             );
         }
+        // Findings accumulate in driver-dependent order; sort for stable
+        // report bytes (see PiiFinding::sort_key).
+        let mut pii_findings = self.pii;
+        pii_findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
         PipelineReport {
             experiments: self.experiments,
             support_destinations,
             third_destinations,
             devices_with_non_first: self.destinations.devices_with_non_first_party(),
             encryption_mix,
-            pii_findings: self.pii,
+            pii_findings,
         }
     }
 }
@@ -149,7 +287,27 @@ mod tests {
         let mix = report.encryption_mix["US"];
         assert!((mix[0] + mix[1] + mix[2] - 100.0).abs() < 1e-6);
         // Report serializes for downstream tooling.
-        let json = serde_json::to_string(&report).unwrap();
+        let json = report.to_json().dump();
         assert!(json.contains("pii_findings"));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let config = CampaignConfig {
+            automated_reps: 1,
+            manual_reps: 1,
+            power_reps: 1,
+            idle_hours: 0.02,
+            include_vpn: false,
+        };
+        let mut serial = Pipeline::new();
+        serial.run_campaign(config);
+        let serial_json = serial.finish().to_json().dump();
+        for workers in [2usize, 4] {
+            let mut parallel = Pipeline::new();
+            parallel.run_campaign_parallel(config, workers);
+            let parallel_json = parallel.finish().to_json().dump();
+            assert_eq!(serial_json, parallel_json, "{workers} workers");
+        }
     }
 }

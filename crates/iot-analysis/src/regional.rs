@@ -4,10 +4,9 @@
 //! statistically significant across labs (italic) or across VPN egress
 //! (bold). We reproduce the test with Welch's unequal-variance t-test.
 
-use serde::Serialize;
 
 /// Result of a two-sample Welch test.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct WelchResult {
     /// The t statistic.
     pub t: f64,

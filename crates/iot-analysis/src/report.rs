@@ -1,9 +1,9 @@
 //! Table rendering and machine-readable export for the bench binaries.
 
-use serde::Serialize;
+use iot_core::json::{Json, ToJson};
 
 /// A simple aligned text table in the style of the paper's tables.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TextTable {
     /// Table title (e.g. `"Table 2"`).
     pub title: String,
@@ -68,12 +68,15 @@ impl TextTable {
     }
 
     /// Serializes to a JSON object (title, headers, rows).
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::json!({
-            "title": self.title,
-            "headers": self.headers,
-            "rows": self.rows,
-        })
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("title", self.title.to_json());
+        j.set("headers", self.headers.to_json());
+        j.set(
+            "rows",
+            Json::Arr(self.rows.iter().map(|r| r.to_json()).collect()),
+        );
+        j
     }
 }
 
@@ -111,8 +114,11 @@ mod tests {
         let mut t = TextTable::new("Table Y", &["k", "v"]);
         t.row(vec!["x".into(), "1".into()]);
         let j = t.to_json();
-        assert_eq!(j["title"], "Table Y");
-        assert_eq!(j["rows"][0][1], "1");
+        assert_eq!(j.get("title"), Some(&Json::Str("Table Y".into())));
+        assert_eq!(
+            j.dump(),
+            r#"{"title":"Table Y","headers":["k","v"],"rows":[["x","1"]]}"#
+        );
     }
 
     #[test]

@@ -9,7 +9,6 @@ use crate::features::extract_features;
 use crate::inference::{TrainedDeviceModel, F1_HIGH_CONFIDENCE};
 use iot_net::packet::Packet;
 use iot_testbed::user_study::StudyEvent;
-use serde::Serialize;
 use std::collections::HashMap;
 
 /// The traffic-unit gap of §7.1.
@@ -22,7 +21,7 @@ pub const MIN_UNIT_PACKETS: usize = 4;
 pub const MIN_VOTE_SHARE: f64 = 0.5;
 
 /// One detected activity instance.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Detection {
     /// Start time of the traffic unit (µs).
     pub at_micros: u64,
@@ -102,7 +101,7 @@ pub fn detection_counts(detections: &[Detection]) -> Vec<(String, usize)> {
 
 /// §7.3 accounting for the user study: matches detections against the
 /// ground-truth event log.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StudyMatchReport {
     /// Detections matching an intentional user action.
     pub matched_intentional: usize,

@@ -1,0 +1,42 @@
+//! End-to-end determinism: the same campaign configuration must produce
+//! byte-identical report JSON through the serial driver and through the
+//! sharded parallel driver at every worker count — the contract that
+//! makes the parallel pipeline a drop-in replacement.
+
+use iot_analysis::pipeline::Pipeline;
+use iot_core::json::ToJson;
+use iot_testbed::schedule::CampaignConfig;
+
+fn report_json(parallel_workers: Option<usize>) -> String {
+    let config = CampaignConfig {
+        automated_reps: 1,
+        manual_reps: 1,
+        power_reps: 1,
+        idle_hours: 0.02,
+        include_vpn: true,
+    };
+    let mut p = Pipeline::new();
+    match parallel_workers {
+        None => p.run_campaign(config),
+        Some(w) => p.run_campaign_parallel(config, w),
+    }
+    p.finish().to_json().dump()
+}
+
+#[test]
+fn serial_and_parallel_reports_are_byte_identical() {
+    let serial = report_json(None);
+    assert!(serial.contains("pii_findings"));
+    for workers in [1usize, 2, 8] {
+        let parallel = report_json(Some(workers));
+        assert_eq!(
+            serial, parallel,
+            "parallel report with {workers} workers diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn repeated_serial_runs_are_byte_identical() {
+    assert_eq!(report_json(None), report_json(None));
+}

@@ -1,51 +1,60 @@
-//! Property-based tests for the analysis layer: classification totality,
+//! Property tests for the analysis layer: classification totality,
 //! feature-vector invariants, and traffic-unit segmentation laws.
+//! Driven by the in-tree deterministic PRNG with fixed seeds.
 
 use iot_analysis::features::{extract_features, FEATURES_PER_SAMPLE};
 use iot_analysis::unexpected::segment_units;
+use iot_core::rng::StdRng;
 use iot_entropy::Thresholds;
 use iot_net::mac::MacAddr;
 use iot_net::packet::{Packet, PacketBuilder};
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
-fn arb_packets() -> impl Strategy<Value = Vec<Packet>> {
-    proptest::collection::vec(
-        (
-            0u64..100_000_000,
-            proptest::collection::vec(any::<u8>(), 0..600),
-        ),
-        0..60,
-    )
-    .prop_map(|mut specs| {
-        specs.sort_by_key(|(ts, _)| *ts);
-        let mut b = PacketBuilder::new(
-            MacAddr::new(1, 2, 3, 4, 5, 6),
-            MacAddr::new(6, 5, 4, 3, 2, 1),
-            Ipv4Addr::new(192, 168, 10, 9),
-            Ipv4Addr::new(8, 8, 8, 8),
-        );
-        specs
-            .into_iter()
-            .map(|(ts, payload)| b.udp(ts, 40000, 9999, &payload))
-            .collect()
-    })
+const CASES: usize = 64;
+
+fn random_packets(rng: &mut StdRng) -> Vec<Packet> {
+    let n = rng.gen_range(0usize..60);
+    let mut specs: Vec<(u64, Vec<u8>)> = (0..n)
+        .map(|_| {
+            let ts = rng.gen_range(0u64..100_000_000);
+            let mut payload = vec![0u8; rng.gen_range(0usize..600)];
+            rng.fill(&mut payload);
+            (ts, payload)
+        })
+        .collect();
+    specs.sort_by_key(|(ts, _)| *ts);
+    let mut b = PacketBuilder::new(
+        MacAddr::new(1, 2, 3, 4, 5, 6),
+        MacAddr::new(6, 5, 4, 3, 2, 1),
+        Ipv4Addr::new(192, 168, 10, 9),
+        Ipv4Addr::new(8, 8, 8, 8),
+    );
+    specs
+        .into_iter()
+        .map(|(ts, payload)| b.udp(ts, 40000, 9999, &payload))
+        .collect()
 }
 
-proptest! {
-    /// Feature extraction is total, fixed-width, and finite for any
-    /// capture.
-    #[test]
-    fn features_total(packets in arb_packets()) {
+/// Feature extraction is total, fixed-width, and finite for any capture.
+#[test]
+fn features_total() {
+    let mut rng = StdRng::seed_from_u64(0x91);
+    for _ in 0..CASES {
+        let packets = random_packets(&mut rng);
         let f = extract_features(&packets);
-        prop_assert_eq!(f.len(), FEATURES_PER_SAMPLE);
-        prop_assert!(f.iter().all(|v| v.is_finite()));
+        assert_eq!(f.len(), FEATURES_PER_SAMPLE);
+        assert!(f.iter().all(|v| v.is_finite()));
     }
+}
 
-    /// Features are invariant under uniform time translation (the paper's
-    /// classifier must not depend on wall-clock position).
-    #[test]
-    fn features_time_shift_invariant(packets in arb_packets(), shift in 0u64..1_000_000_000) {
+/// Features are invariant under uniform time translation (the paper's
+/// classifier must not depend on wall-clock position).
+#[test]
+fn features_time_shift_invariant() {
+    let mut rng = StdRng::seed_from_u64(0x92);
+    for _ in 0..CASES {
+        let packets = random_packets(&mut rng);
+        let shift = rng.gen_range(0u64..1_000_000_000);
         let shifted: Vec<Packet> = packets
             .iter()
             .map(|p| Packet::new(p.ts_micros + shift, p.data.clone()))
@@ -53,48 +62,61 @@ proptest! {
         let a = extract_features(&packets);
         let b = extract_features(&shifted);
         for (x, y) in a.iter().zip(&b) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9);
         }
     }
+}
 
-    /// Segmentation partitions the capture: every packet lands in exactly
-    /// one unit, units are non-empty and time-ordered, and intra-unit gaps
-    /// never exceed the threshold.
-    #[test]
-    fn segmentation_partitions(packets in arb_packets(), gap_s in 0.1f64..10.0) {
+/// Segmentation partitions the capture: every packet lands in exactly
+/// one unit, units are non-empty and time-ordered, and intra-unit gaps
+/// never exceed the threshold.
+#[test]
+fn segmentation_partitions() {
+    let mut rng = StdRng::seed_from_u64(0x93);
+    for _ in 0..CASES {
+        let packets = random_packets(&mut rng);
+        let gap_s = rng.gen_range(0.1f64..10.0);
         let units = segment_units(&packets, gap_s);
         let total: usize = units.iter().map(|u| u.len()).sum();
-        prop_assert_eq!(total, packets.len());
+        assert_eq!(total, packets.len());
         let gap_us = (gap_s * 1e6) as u64;
         for unit in &units {
-            prop_assert!(!unit.is_empty());
+            assert!(!unit.is_empty());
             for w in unit.windows(2) {
-                prop_assert!(w[1].ts_micros - w[0].ts_micros <= gap_us);
+                assert!(w[1].ts_micros - w[0].ts_micros <= gap_us);
             }
         }
         // Consecutive units are separated by more than the gap.
         for w in units.windows(2) {
             let last = w[0].last().unwrap().ts_micros;
             let first = w[1].first().unwrap().ts_micros;
-            prop_assert!(first - last > gap_us);
+            assert!(first - last > gap_us);
         }
     }
+}
 
-    /// A larger gap never yields more units.
-    #[test]
-    fn segmentation_monotone_in_gap(packets in arb_packets()) {
+/// A larger gap never yields more units.
+#[test]
+fn segmentation_monotone_in_gap() {
+    let mut rng = StdRng::seed_from_u64(0x94);
+    for _ in 0..CASES {
+        let packets = random_packets(&mut rng);
         let small = segment_units(&packets, 0.5).len();
         let large = segment_units(&packets, 5.0).len();
-        prop_assert!(large <= small);
+        assert!(large <= small);
     }
+}
 
-    /// Threshold classification is total over arbitrary flow payloads.
-    #[test]
-    fn classify_total(
-        out in proptest::collection::vec(any::<u8>(), 0..2048),
-        inn in proptest::collection::vec(any::<u8>(), 0..2048),
-    ) {
-        use iot_net::flow::{Flow, FlowKey, FlowProto};
+/// Threshold classification is total over arbitrary flow payloads.
+#[test]
+fn classify_total() {
+    use iot_net::flow::{Flow, FlowKey, FlowProto};
+    let mut rng = StdRng::seed_from_u64(0x95);
+    for _ in 0..CASES {
+        let mut out = vec![0u8; rng.gen_range(0usize..2048)];
+        rng.fill(&mut out);
+        let mut inn = vec![0u8; rng.gen_range(0usize..2048)];
+        rng.fill(&mut inn);
         let key = FlowKey {
             local_ip: Ipv4Addr::new(192, 168, 10, 2),
             local_port: 40000,

@@ -25,7 +25,6 @@ use iot_testbed::lab::{Lab, LabSite};
 /// that looks random. The undetermined class is counted separately — the
 /// paper accepts undetermined traffic to keep the error rate down.
 fn threshold_error(t: &Thresholds) -> (f64, f64) {
-    use rand::Rng;
     let mut wrong = 0usize;
     let mut undetermined = 0usize;
     let total = 600usize;

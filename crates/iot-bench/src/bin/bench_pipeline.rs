@@ -1,0 +1,121 @@
+//! Serial-vs-parallel pipeline ingestion benchmark.
+//!
+//! Runs the full analysis pipeline (destinations + encryption + PII over
+//! a complete campaign, controlled and idle) once per timed iteration,
+//! first through the serial driver and then through the sharded parallel
+//! driver, verifies the two reports are byte-identical, and writes the
+//! timing summary to `BENCH_pipeline.json`.
+//!
+//! Environment knobs:
+//!
+//! * `IOT_SCALE` — campaign grid (`quick` / `medium` / `full`); this
+//!   binary defaults to `quick` since each iteration runs the whole
+//!   campaign.
+//! * `IOT_BENCH_ITERS` — timed iterations per driver (default 3).
+//! * `IOT_BENCH_WARMUP` — untimed warmup iterations per driver
+//!   (default 1).
+//! * `IOT_BENCH_WORKERS` — parallel worker count (default: available
+//!   hardware parallelism).
+//! * `IOT_BENCH_OUT` — output path (default `BENCH_pipeline.json`).
+
+use iot_analysis::pipeline::Pipeline;
+use iot_bench::harness::bench;
+use iot_bench::{campaign_config, Scale};
+use iot_core::json::{Json, ToJson};
+use iot_testbed::schedule::{Campaign, CampaignConfig};
+use std::io::Write;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn serial_report_json(config: CampaignConfig) -> String {
+    let mut p = Pipeline::new();
+    p.run_campaign(config);
+    p.finish().to_json().dump()
+}
+
+fn parallel_report_json(config: CampaignConfig, workers: usize) -> String {
+    let mut p = Pipeline::new();
+    p.run_campaign_parallel(config, workers);
+    p.finish().to_json().dump()
+}
+
+fn main() {
+    // Whole-campaign iterations are expensive; default to the smallest
+    // grid unless the caller asks for more.
+    let scale = match std::env::var("IOT_SCALE").as_deref() {
+        Ok("medium") => Scale::Medium,
+        Ok("full") => Scale::Full,
+        _ => Scale::Quick,
+    };
+    let config = campaign_config(scale);
+    let iters = env_usize("IOT_BENCH_ITERS", 3);
+    let warmup = env_usize("IOT_BENCH_WARMUP", 1);
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = env_usize("IOT_BENCH_WORKERS", hw_threads);
+    let experiments =
+        Campaign::new(config).controlled_experiment_count();
+
+    eprintln!(
+        "bench_pipeline: scale={} experiments≈{experiments} workers={workers} \
+         iters={iters} warmup={warmup} hw_threads={hw_threads}",
+        scale.name()
+    );
+
+    // Correctness gate first: the parallel driver must reproduce the
+    // serial report byte for byte before its timings mean anything.
+    let serial_json = serial_report_json(config);
+    let parallel_json = parallel_report_json(config, workers);
+    let identical = serial_json == parallel_json;
+    if !identical {
+        eprintln!("bench_pipeline: FAIL — parallel report diverged from serial");
+    }
+
+    let serial = bench("pipeline_serial", warmup, iters, || {
+        serial_report_json(config)
+    });
+    let parallel = bench("pipeline_parallel", warmup, iters, || {
+        parallel_report_json(config, workers)
+    });
+    let speedup = serial.median_ms() / parallel.median_ms();
+
+    let mut out = Json::obj();
+    out.set("benchmark", "pipeline_ingestion".to_json());
+    out.set("scale", scale.name().to_json());
+    out.set("experiments", experiments.to_json());
+    out.set("workers", workers.to_json());
+    out.set("hw_threads", hw_threads.to_json());
+    out.set("reports_identical", identical.to_json());
+    out.set("serial", serial.to_json());
+    out.set("parallel", parallel.to_json());
+    out.set("speedup_median", speedup.to_json());
+    out.set(
+        "note",
+        "speedup_median = serial median / parallel median; expect ≥2x on 4+ \
+         hardware threads, ~1x or slightly below on a single core (sharding \
+         overhead without parallel hardware)"
+            .to_json(),
+    );
+
+    let path = std::env::var("IOT_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    let mut f = std::fs::File::create(&path).expect("create bench output");
+    writeln!(f, "{}", out.pretty()).expect("write bench output");
+
+    eprintln!(
+        "bench_pipeline: serial median {:.1} ms, parallel median {:.1} ms \
+         ({workers} workers), speedup {speedup:.2}x -> {path}",
+        serial.median_ms(),
+        parallel.median_ms()
+    );
+    if !identical {
+        std::process::exit(1);
+    }
+}

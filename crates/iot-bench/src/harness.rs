@@ -1,0 +1,139 @@
+//! In-tree micro/macro benchmark harness.
+//!
+//! Replaces the external `criterion` dependency with the minimal thing
+//! the repo actually needs: run a closure a fixed number of warmup and
+//! timed iterations, report median / p95 / min / max wall-clock times,
+//! and serialize the result into the in-tree JSON type so benchmark
+//! trajectories can be committed and diffed.
+
+use iot_core::json::{Json, ToJson};
+use std::time::Instant;
+
+/// Timing summary of one benchmarked operation.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label.
+    pub name: String,
+    /// Timed iterations (excludes warmup).
+    pub iters: usize,
+    /// Per-iteration wall-clock times, milliseconds, in run order.
+    pub times_ms: Vec<f64>,
+}
+
+impl BenchResult {
+    /// q-th quantile (0–1) of the recorded times, nearest-rank on the
+    /// sorted sample.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let mut sorted = self.times_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Median wall-clock time.
+    pub fn median_ms(&self) -> f64 {
+        self.quantile_ms(0.5)
+    }
+
+    /// 95th-percentile wall-clock time.
+    pub fn p95_ms(&self) -> f64 {
+        self.quantile_ms(0.95)
+    }
+
+    /// Fastest iteration.
+    pub fn min_ms(&self) -> f64 {
+        self.times_ms.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Slowest iteration.
+    pub fn max_ms(&self) -> f64 {
+        self.times_ms.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+impl ToJson for BenchResult {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("name", self.name.to_json());
+        j.set("iters", self.iters.to_json());
+        j.set("median_ms", self.median_ms().to_json());
+        j.set("p95_ms", self.p95_ms().to_json());
+        j.set("min_ms", self.min_ms().to_json());
+        j.set("max_ms", self.max_ms().to_json());
+        j.set("times_ms", self.times_ms.to_json());
+        j
+    }
+}
+
+/// Runs `op` for `warmup` untimed and `iters` timed iterations and
+/// returns the timing summary. The closure's return value is passed to
+/// `std::hint::black_box` so the optimizer cannot elide the work.
+pub fn bench<T, F: FnMut() -> T>(
+    name: &str,
+    warmup: usize,
+    iters: usize,
+    mut op: F,
+) -> BenchResult {
+    assert!(iters > 0, "at least one timed iteration");
+    for _ in 0..warmup {
+        std::hint::black_box(op());
+    }
+    let mut times_ms = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(op());
+        times_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    BenchResult {
+        name: name.to_string(),
+        iters,
+        times_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_requested_iterations() {
+        let mut runs = 0u32;
+        let r = bench("noop", 2, 5, || {
+            runs += 1;
+            runs
+        });
+        assert_eq!(runs, 7, "2 warmup + 5 timed");
+        assert_eq!(r.iters, 5);
+        assert_eq!(r.times_ms.len(), 5);
+        assert!(r.min_ms() <= r.median_ms());
+        assert!(r.median_ms() <= r.p95_ms());
+        assert!(r.p95_ms() <= r.max_ms());
+    }
+
+    #[test]
+    fn quantiles_on_known_sample() {
+        let r = BenchResult {
+            name: "x".into(),
+            iters: 4,
+            times_ms: vec![4.0, 1.0, 3.0, 2.0],
+        };
+        assert_eq!(r.median_ms(), 2.0);
+        assert_eq!(r.p95_ms(), 4.0);
+        assert_eq!(r.min_ms(), 1.0);
+        assert_eq!(r.max_ms(), 4.0);
+    }
+
+    #[test]
+    fn result_serializes() {
+        let r = BenchResult {
+            name: "x".into(),
+            iters: 1,
+            times_ms: vec![1.5],
+        };
+        let s = r.to_json().dump();
+        assert!(s.contains("\"median_ms\":1.5"), "{s}");
+    }
+}

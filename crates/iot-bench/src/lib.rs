@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use iot_analysis::destinations::DestinationAnalysis;
 use iot_analysis::encryption::EncryptionAnalysis;
 use iot_analysis::flows::ExperimentFlows;
@@ -35,6 +37,17 @@ pub enum Scale {
     Medium,
     /// Paper-scale grid.
     Full,
+}
+
+impl Scale {
+    /// Lower-case name matching the `IOT_SCALE` value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Medium => "medium",
+            Scale::Full => "full",
+        }
+    }
 }
 
 /// Reads the scale from `IOT_SCALE`.
@@ -182,9 +195,9 @@ pub fn emit(name: &str, table: &TextTable, paper_note: &str) {
     let path = PathBuf::from(dir);
     if std::fs::create_dir_all(&path).is_ok() {
         let mut json = table.to_json();
-        json["paper_note"] = serde_json::Value::String(paper_note.to_string());
+        json.set("paper_note", iot_core::json::Json::Str(paper_note.to_string()));
         if let Ok(mut f) = std::fs::File::create(path.join(format!("{name}.json"))) {
-            let _ = writeln!(f, "{}", serde_json::to_string_pretty(&json).unwrap());
+            let _ = writeln!(f, "{}", json.pretty());
         }
     }
 }

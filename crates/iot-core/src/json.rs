@@ -1,0 +1,354 @@
+//! Minimal JSON value type and emitter.
+//!
+//! Replaces `serde_json` for report emission. Two properties matter more
+//! than speed here:
+//!
+//! 1. **Stable bytes.** Object members keep insertion order (callers
+//!    insert in a deterministic order, or use [`Json::sort_keys`] when
+//!    building from a hash map), and `f64` values print via the shortest
+//!    round-trip form with a trailing `.0` for integral values — so the
+//!    same report always serialises to the same bytes.
+//! 2. **No deps.** Emission only; the workspace never parses JSON.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Signed integers (exact, no float round-trip).
+    Int(i64),
+    /// Unsigned integers that may exceed `i64::MAX`.
+    UInt(u64),
+    /// Floating point; non-finite values emit as `null` (JSON has no
+    /// NaN/Infinity) — see [`fmt_f64`].
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Members in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert (or replace) a member. Returns `self` for chaining.
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Json {
+        let Json::Obj(members) = self else {
+            panic!("Json::set on a non-object");
+        };
+        match members.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => members.push((key.to_string(), value)),
+        }
+        self
+    }
+
+    /// Fetch a member by key (objects only).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Recursively sort object members by key. Use when an object was
+    /// built by iterating a hash map in arbitrary order.
+    pub fn sort_keys(&mut self) {
+        match self {
+            Json::Obj(members) => {
+                members.sort_by(|a, b| a.0.cmp(&b.0));
+                for (_, v) in members {
+                    v.sort_keys();
+                }
+            }
+            Json::Arr(items) => {
+                for v in items {
+                    v.sort_keys();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Compact serialisation (no whitespace).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Pretty serialisation with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(f) => out.push_str(&fmt_f64(*f)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Stable `f64` formatting: Rust's shortest round-trip `Display`, with
+/// `.0` appended to integral values so they stay recognisably floats,
+/// and `null` for non-finite values (JSON cannot represent them).
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let mut s = format!("{v}");
+    if !s.contains(['.', 'e', 'E']) {
+        s.push_str(".0");
+    }
+    s
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into [`Json`]; the in-tree analogue of `serde::Serialize`.
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+macro_rules! to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+to_json_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self as u64)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_round_trip_shape() {
+        let mut j = Json::obj();
+        j.set("b", Json::Int(1));
+        j.set("a", Json::Arr(vec![Json::Null, Json::Bool(true)]));
+        assert_eq!(j.dump(), r#"{"b":1,"a":[null,true]}"#);
+        j.sort_keys();
+        assert_eq!(j.dump(), r#"{"a":[null,true],"b":1}"#);
+    }
+
+    #[test]
+    fn set_replaces_existing_member() {
+        let mut j = Json::obj();
+        j.set("k", Json::Int(1));
+        j.set("k", Json::Int(2));
+        assert_eq!(j.dump(), r#"{"k":2}"#);
+        assert_eq!(j.get("k"), Some(&Json::Int(2)));
+    }
+
+    #[test]
+    fn escaping() {
+        let j = Json::Str("a\"b\\c\n\t\u{01}π".to_string());
+        assert_eq!(j.dump(), "\"a\\\"b\\\\c\\n\\t\\u0001π\"");
+    }
+
+    #[test]
+    fn f64_formats_are_stable_and_round_trip() {
+        assert_eq!(fmt_f64(1.0), "1.0");
+        assert_eq!(fmt_f64(0.0), "0.0");
+        assert_eq!(fmt_f64(-2.5), "-2.5");
+        assert_eq!(fmt_f64(0.1), "0.1");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        // Shortest form must parse back to the identical bits.
+        for v in [0.1, 1.0 / 3.0, 66.66666666666667, 2f64.powi(-40), 123456.789] {
+            let s = fmt_f64(v);
+            assert_eq!(s.parse::<f64>().unwrap(), v, "{s} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn pretty_nests_with_two_space_indent() {
+        let mut inner = Json::obj();
+        inner.set("x", Json::Num(0.5));
+        let mut j = Json::obj();
+        j.set("a", Json::Arr(vec![Json::Int(1), Json::Int(2)]));
+        j.set("o", inner);
+        j.set("e", Json::Arr(vec![]));
+        let expected = "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"o\": {\n    \"x\": 0.5\n  },\n  \"e\": []\n}";
+        assert_eq!(j.pretty(), expected);
+    }
+
+    #[test]
+    fn to_json_impls() {
+        assert_eq!(3u64.to_json().dump(), "3");
+        assert_eq!((-3i32).to_json().dump(), "-3");
+        assert_eq!("hi".to_json().dump(), "\"hi\"");
+        assert_eq!(Some(1.5f64).to_json().dump(), "1.5");
+        assert_eq!(None::<u32>.to_json().dump(), "null");
+        assert_eq!(vec!["a", "b"].to_json().dump(), r#"["a","b"]"#);
+    }
+}

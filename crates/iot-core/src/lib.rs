@@ -1,0 +1,13 @@
+//! Zero-dependency substrate shared by every crate in the workspace.
+//!
+//! The build environment has no crates.io access, so anything the
+//! pipeline needs from the outside world lives here instead:
+//!
+//! - [`rng`]: a seedable, deterministic PRNG (xoshiro256** seeded via
+//!   SplitMix64) with the small sampling surface the testbed, ML, and
+//!   bench crates use.
+//! - [`json`]: a minimal JSON value type and emitter with stable `f64`
+//!   formatting, so report diffs are reproducible across runs.
+
+pub mod json;
+pub mod rng;

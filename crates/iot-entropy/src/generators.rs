@@ -12,8 +12,7 @@
 //! | textual plaintext (web page) | H≈0.55 (0.35–0.62) | English-like markup |
 //! | media (video/audio) | H≈0.873 | random bytes + container structure |
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use iot_core::rng::StdRng;
 
 /// Creates the crate's deterministic RNG from a seed.
 pub fn rng(seed: u64) -> StdRng {

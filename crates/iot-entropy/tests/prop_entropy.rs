@@ -1,76 +1,116 @@
-//! Property-based tests for entropy invariants.
+//! Property tests for entropy invariants, driven by the in-tree
+//! deterministic PRNG: each property runs a fixed-seed loop of random
+//! cases instead of a proptest strategy, so failures reproduce exactly.
 
+use iot_core::rng::StdRng;
 use iot_entropy::classify::{EncryptionClass, Thresholds};
 use iot_entropy::entropy::{mean_packet_entropy, normalized_entropy, EntropyStats};
-use proptest::prelude::*;
 
-proptest! {
-    /// Entropy is always within [0, 1].
-    #[test]
-    fn entropy_bounded(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+const CASES: usize = 64;
+
+fn random_bytes(rng: &mut StdRng, len_range: std::ops::Range<usize>) -> Vec<u8> {
+    let len = rng.gen_range(len_range);
+    let mut v = vec![0u8; len];
+    rng.fill(&mut v);
+    v
+}
+
+/// Entropy is always within [0, 1].
+#[test]
+fn entropy_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    for _ in 0..CASES {
+        let data = random_bytes(&mut rng, 0..4096);
         let h = normalized_entropy(&data);
-        prop_assert!((0.0..=1.0).contains(&h), "H = {h}");
+        assert!((0.0..=1.0).contains(&h), "H = {h}");
     }
+}
 
-    /// Entropy is permutation-invariant (it depends only on the byte
-    /// histogram).
-    #[test]
-    fn entropy_permutation_invariant(mut data in proptest::collection::vec(any::<u8>(), 1..2048)) {
+/// Entropy is permutation-invariant (it depends only on the byte
+/// histogram).
+#[test]
+fn entropy_permutation_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    for _ in 0..CASES {
+        let mut data = random_bytes(&mut rng, 1..2048);
         let h1 = normalized_entropy(&data);
         data.sort_unstable();
         let h2 = normalized_entropy(&data);
-        prop_assert!((h1 - h2).abs() < 1e-12);
+        assert!((h1 - h2).abs() < 1e-12);
     }
+}
 
-    /// Duplicating the data does not change its entropy.
-    #[test]
-    fn entropy_scale_invariant(data in proptest::collection::vec(any::<u8>(), 1..1024)) {
+/// Duplicating the data does not change its entropy.
+#[test]
+fn entropy_scale_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    for _ in 0..CASES {
+        let data = random_bytes(&mut rng, 1..1024);
         let h1 = normalized_entropy(&data);
         let doubled: Vec<u8> = data.iter().chain(data.iter()).copied().collect();
         let h2 = normalized_entropy(&doubled);
-        prop_assert!((h1 - h2).abs() < 1e-12);
+        assert!((h1 - h2).abs() < 1e-12);
     }
+}
 
-    /// A constant sequence always has zero entropy; adding one distinct
-    /// byte makes it strictly positive.
-    #[test]
-    fn constant_vs_near_constant(byte in any::<u8>(), len in 2usize..512) {
+/// A constant sequence always has zero entropy; adding one distinct
+/// byte makes it strictly positive.
+#[test]
+fn constant_vs_near_constant() {
+    let mut rng = StdRng::seed_from_u64(0xE4);
+    for _ in 0..CASES {
+        let byte: u8 = rng.gen();
+        let len = rng.gen_range(2usize..512);
         let constant = vec![byte; len];
-        prop_assert_eq!(normalized_entropy(&constant), 0.0);
+        assert_eq!(normalized_entropy(&constant), 0.0);
         let mut near = constant;
         near[0] = byte.wrapping_add(1);
-        prop_assert!(normalized_entropy(&near) > 0.0);
+        assert!(normalized_entropy(&near) > 0.0);
     }
+}
 
-    /// Entropy never exceeds log2(n)/8 for n-byte input.
-    #[test]
-    fn finite_sample_bound(data in proptest::collection::vec(any::<u8>(), 1..300)) {
+/// Entropy never exceeds log2(n)/8 for n-byte input.
+#[test]
+fn finite_sample_bound() {
+    let mut rng = StdRng::seed_from_u64(0xE5);
+    for _ in 0..CASES {
+        let data = random_bytes(&mut rng, 1..300);
         let h = normalized_entropy(&data);
         let bound = (data.len() as f64).log2() / 8.0;
-        prop_assert!(h <= bound + 1e-9, "H={h} bound={bound}");
+        assert!(h <= bound + 1e-9, "H={h} bound={bound}");
     }
+}
 
-    /// The classifier is total and consistent with its thresholds.
-    #[test]
-    fn classifier_consistent(h in 0.0f64..=1.0, low in 0.0f64..=0.5, high in 0.5f64..=1.0) {
+/// The classifier is total and consistent with its thresholds.
+#[test]
+fn classifier_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    for _ in 0..CASES {
+        let h = rng.gen_range(0.0f64..=1.0);
+        let low = rng.gen_range(0.0f64..=0.5);
+        let high = rng.gen_range(0.5f64..=1.0);
         let t = Thresholds::new(low, high);
-        let c = t.classify_value(h);
-        match c {
-            EncryptionClass::LikelyEncrypted => prop_assert!(h > high),
-            EncryptionClass::LikelyUnencrypted => prop_assert!(h < low),
-            EncryptionClass::Unknown => prop_assert!(h >= low && h <= high),
+        match t.classify_value(h) {
+            EncryptionClass::LikelyEncrypted => assert!(h > high),
+            EncryptionClass::LikelyUnencrypted => assert!(h < low),
+            EncryptionClass::Unknown => assert!(h >= low && h <= high),
         }
     }
+}
 
-    /// Mean packet entropy lies between the min and max per-packet entropy.
-    #[test]
-    fn mean_within_extremes(
-        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..256), 1..12),
-    ) {
+/// Mean packet entropy lies between the min and max per-packet entropy.
+#[test]
+fn mean_within_extremes() {
+    let mut rng = StdRng::seed_from_u64(0xE7);
+    for _ in 0..CASES {
+        let n_chunks = rng.gen_range(1usize..12);
+        let chunks: Vec<Vec<u8>> = (0..n_chunks)
+            .map(|_| random_bytes(&mut rng, 1..256))
+            .collect();
         let values: Vec<f64> = chunks.iter().map(|c| normalized_entropy(c)).collect();
         let stats = EntropyStats::from_values(&values);
         let mean = mean_packet_entropy(chunks.iter().map(|c| c.as_slice()));
-        prop_assert!(mean >= stats.min - 1e-12 && mean <= stats.max + 1e-12);
-        prop_assert!((mean - stats.mean).abs() < 1e-12);
+        assert!(mean >= stats.min - 1e-12 && mean <= stats.max + 1e-12);
+        assert!((mean - stats.mean).abs() < 1e-12);
     }
 }

@@ -1,12 +1,11 @@
 //! Countries and serving regions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Countries appearing in the synthetic Internet model. The set mirrors the
 /// destination countries reported in the paper's Figure 2 (US, UK/Europe,
 /// China, Korea, Japan, plus long-tail destinations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum Country {
     UnitedStates,
@@ -97,7 +96,7 @@ impl fmt::Display for Country {
 /// Coarse serving regions used for replica selection. The labs' egress
 /// points map onto these: the US lab egresses in [`Region::Americas`], the
 /// UK lab in [`Region::Europe`], and the VPN swaps them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Region {
     /// North and South America.
     Americas,

@@ -8,10 +8,9 @@
 //! the domain plays ([`DomainRole`]).
 
 use crate::geo::{Country, Region};
-use serde::{Deserialize, Serialize};
 
 /// Primary business of an organization, which drives party classification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OrgKind {
     /// Builds and sells IoT devices.
     Manufacturer,
@@ -30,7 +29,7 @@ pub enum OrgKind {
 }
 
 /// What a domain is used for, within its owning organization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DomainRole {
     /// The organization's own service (e.g. `amazon.com`, `netflix.com`).
     Primary,
@@ -40,7 +39,7 @@ pub enum DomainRole {
 }
 
 /// A static organization record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Organization {
     /// Organization name as used in reports (Table 4 rows).
     pub name: &'static str,

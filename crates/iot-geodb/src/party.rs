@@ -8,11 +8,10 @@
 //!   analytics companies.
 
 use crate::org::{DomainRole, Organization, OrgKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Classification of a destination relative to a device's manufacturer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PartyType {
     /// The manufacturer itself (or a related first-party service).
     First,

@@ -1,76 +1,108 @@
-//! Property-based tests for the registry and party classifier.
+//! Property tests for the registry and party classifier, driven by the
+//! in-tree deterministic PRNG with fixed seeds.
 
+use iot_core::rng::StdRng;
 use iot_geodb::geo::Region;
 use iot_geodb::org::ORGS;
 use iot_geodb::party::{classify, PartyType};
 use iot_geodb::registry::GeoDb;
 use iot_geodb::sld::sld;
-use proptest::prelude::*;
 
-fn arb_region() -> impl Strategy<Value = Region> {
-    prop_oneof![
-        Just(Region::Americas),
-        Just(Region::Europe),
-        Just(Region::AsiaPacific),
-    ]
+const CASES: usize = 64;
+
+fn random_region(rng: &mut StdRng) -> Region {
+    match rng.gen_range(0u32..3) {
+        0 => Region::Americas,
+        1 => Region::Europe,
+        _ => Region::AsiaPacific,
+    }
 }
 
-fn arb_known_domain() -> impl Strategy<Value = String> {
-    let domains: Vec<String> = ORGS
+/// A subdomain of a domain some org actually registers.
+fn random_known_domain(rng: &mut StdRng) -> String {
+    let domains: Vec<&str> = ORGS
         .iter()
-        .flat_map(|o| o.domains.iter().map(|(d, _)| d.to_string()))
+        .flat_map(|o| o.domains.iter().map(|(d, _)| *d))
         .collect();
-    (0..domains.len(), proptest::string::string_regex("[a-z]{1,10}").unwrap())
-        .prop_map(move |(i, sub)| format!("{sub}.{}", domains[i]))
+    let base = domains[rng.gen_range(0..domains.len())];
+    let sub_len = rng.gen_range(1usize..=10);
+    let sub: String = (0..sub_len)
+        .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+        .collect();
+    format!("{sub}.{base}")
 }
 
-proptest! {
-    /// Resolving any host of a known org yields an address whose WHOIS
-    /// points back to that org, in a block serving the egress region or
-    /// the org's home.
-    #[test]
-    fn resolve_whois_consistent(host in arb_known_domain(), egress in arb_region()) {
-        let db = GeoDb::new();
+/// Resolving any host of a known org yields an address whose WHOIS
+/// points back to that org, in a block serving the egress region or
+/// the org's home.
+#[test]
+fn resolve_whois_consistent() {
+    let db = GeoDb::new();
+    let mut rng = StdRng::seed_from_u64(0xD1);
+    for _ in 0..CASES {
+        let host = random_known_domain(&mut rng);
+        let egress = random_region(&mut rng);
         let ip = db.resolve(&host, egress).unwrap();
         let (org_by_ip, _, _) = db.whois_ip(ip).unwrap();
         let (org_by_domain, _) = db.org_for_domain(&host).unwrap();
-        prop_assert_eq!(org_by_ip.name, org_by_domain.name);
+        assert_eq!(org_by_ip.name, org_by_domain.name);
     }
+}
 
-    /// Resolution is a pure function of (host, egress).
-    #[test]
-    fn resolve_deterministic(host in arb_known_domain(), egress in arb_region()) {
-        let db = GeoDb::new();
-        prop_assert_eq!(db.resolve(&host, egress), db.resolve(&host, egress));
+/// Resolution is a pure function of (host, egress).
+#[test]
+fn resolve_deterministic() {
+    let db = GeoDb::new();
+    let mut rng = StdRng::seed_from_u64(0xD2);
+    for _ in 0..CASES {
+        let host = random_known_domain(&mut rng);
+        let egress = random_region(&mut rng);
+        assert_eq!(db.resolve(&host, egress), db.resolve(&host, egress));
     }
+}
 
-    /// Party classification is total and first-party iff org matches.
-    #[test]
-    fn party_first_iff_manufacturer(org_idx in 0..ORGS.len(), man_idx in 0..ORGS.len()) {
-        let org = &ORGS[org_idx];
-        let manufacturer = ORGS[man_idx].name;
+/// Party classification is total and first-party iff org matches.
+#[test]
+fn party_first_iff_manufacturer() {
+    let mut rng = StdRng::seed_from_u64(0xD3);
+    for _ in 0..CASES {
+        let org = &ORGS[rng.gen_range(0..ORGS.len())];
+        let manufacturer = ORGS[rng.gen_range(0..ORGS.len())].name;
         let role = org.domains.first().map(|(_, r)| *r);
         let p = classify(org, role, manufacturer);
         if org.name == manufacturer {
-            prop_assert_eq!(p, PartyType::First);
+            assert_eq!(p, PartyType::First);
         } else {
-            prop_assert!(p.is_non_first());
+            assert!(p.is_non_first());
         }
     }
+}
 
-    /// SLD extraction never panics and output is a suffix of the input.
-    #[test]
-    fn sld_total_and_suffix(host in "[a-z0-9.-]{0,40}") {
+/// SLD extraction never panics and output is a suffix of the input.
+#[test]
+fn sld_total_and_suffix() {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789.-";
+    let mut rng = StdRng::seed_from_u64(0xD4);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..=40);
+        let host: String = (0..len)
+            .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+            .collect();
         if let Some(s) = sld(&host) {
             let normalized = host.trim().trim_end_matches('.').to_ascii_lowercase();
-            prop_assert!(normalized.ends_with(&s), "{s} not suffix of {normalized}");
+            assert!(normalized.ends_with(&s), "{s} not suffix of {normalized}");
         }
     }
+}
 
-    /// Country inference via passport never panics for arbitrary IPs.
-    #[test]
-    fn passport_total(ip in any::<u32>(), egress in arb_region()) {
-        let db = GeoDb::new();
+/// Country inference via passport never panics for arbitrary IPs.
+#[test]
+fn passport_total() {
+    let db = GeoDb::new();
+    let mut rng = StdRng::seed_from_u64(0xD5);
+    for _ in 0..CASES {
+        let ip: u32 = rng.gen();
+        let egress = random_region(&mut rng);
         let _ = iot_geodb::passport::infer_country(&db, std::net::Ipv4Addr::from(ip), egress);
     }
 }

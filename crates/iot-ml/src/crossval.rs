@@ -4,9 +4,7 @@
 use crate::dataset::Dataset;
 use crate::forest::{RandomForest, RandomForestConfig};
 use crate::metrics::ConfusionMatrix;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use iot_core::rng::{SliceRandom, StdRng};
 
 /// Aggregated cross-validation results.
 #[derive(Debug, Clone)]
@@ -120,7 +118,6 @@ pub fn cross_validate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     fn separable(n_per_class: usize, n_classes: usize, noise: f64, seed: u64) -> Dataset {
         let names = (0..n_classes).map(|i| format!("class{i}")).collect();

@@ -2,8 +2,7 @@
 
 use crate::dataset::Dataset;
 use crate::tree::{DecisionTree, TreeConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use iot_core::rng::StdRng;
 
 /// Random-forest hyperparameters.
 #[derive(Debug, Clone, Copy)]

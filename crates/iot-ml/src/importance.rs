@@ -9,9 +9,7 @@
 use crate::dataset::Dataset;
 use crate::forest::RandomForest;
 use crate::metrics::ConfusionMatrix;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use iot_core::rng::{SliceRandom, StdRng};
 
 /// Importance of one feature: the macro-F1 drop when that feature's column
 /// is randomly permuted across the evaluation set.
@@ -73,7 +71,6 @@ pub fn permutation_importance(
 mod tests {
     use super::*;
     use crate::forest::RandomForestConfig;
-    use rand::Rng;
 
     /// Class depends only on feature 0; feature 1 is noise.
     fn dataset() -> Dataset {

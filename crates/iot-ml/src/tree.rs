@@ -1,9 +1,7 @@
 //! CART decision trees with Gini impurity.
 
 use crate::dataset::Dataset;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use iot_core::rng::{SliceRandom, StdRng};
 
 /// A node of a fitted tree.
 #[derive(Debug, Clone)]
@@ -232,7 +230,6 @@ fn best_split(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)

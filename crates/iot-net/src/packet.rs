@@ -12,7 +12,6 @@ use crate::mac::MacAddr;
 use crate::tcp::{TcpFlags, TcpHeader};
 use crate::udp::UdpHeader;
 use crate::Result;
-use bytes::Bytes;
 use std::net::Ipv4Addr;
 
 /// A captured packet: microsecond timestamp plus raw frame bytes.
@@ -21,12 +20,12 @@ pub struct Packet {
     /// Capture time in microseconds since the simulation epoch.
     pub ts_micros: u64,
     /// Raw Ethernet frame bytes.
-    pub data: Bytes,
+    pub data: Vec<u8>,
 }
 
 impl Packet {
     /// Creates a packet from raw frame bytes.
-    pub fn new(ts_micros: u64, data: impl Into<Bytes>) -> Self {
+    pub fn new(ts_micros: u64, data: impl Into<Vec<u8>>) -> Self {
         Packet {
             ts_micros,
             data: data.into(),

@@ -1,141 +1,216 @@
-//! Property-based tests: every codec must round-trip arbitrary valid
-//! messages, and the protocol identifier must never confuse one generated
-//! protocol for another.
+//! Property tests: every codec must round-trip arbitrary valid messages,
+//! and the protocol identifier must never confuse one generated protocol
+//! for another. Driven by the in-tree deterministic PRNG with fixed seeds.
 
+use iot_core::rng::StdRng;
 use iot_protocols::analyzer::{identify_flow, ProtocolId, Transport};
 use iot_protocols::{dhcp, dns, http, mqtt, ntp, quic, tls};
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
-fn arb_label() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z][a-z0-9-]{0,14}").unwrap()
+const CASES: usize = 64;
+
+/// A DNS-safe label matching `[a-z][a-z0-9-]{0,14}`.
+fn random_label(rng: &mut StdRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+    let mut s = String::new();
+    s.push(FIRST[rng.gen_range(0..FIRST.len())] as char);
+    for _ in 0..rng.gen_range(0usize..=14) {
+        s.push(REST[rng.gen_range(0..REST.len())] as char);
+    }
+    s
 }
 
-fn arb_domain() -> impl Strategy<Value = String> {
-    proptest::collection::vec(arb_label(), 2..5).prop_map(|ls| ls.join("."))
+fn random_domain(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(2usize..5);
+    (0..n).map(|_| random_label(rng)).collect::<Vec<_>>().join(".")
 }
 
-proptest! {
-    #[test]
-    fn dns_query_roundtrip(id in any::<u16>(), name in arb_domain()) {
+fn random_bytes(rng: &mut StdRng, len_range: std::ops::Range<usize>) -> Vec<u8> {
+    let mut v = vec![0u8; rng.gen_range(len_range)];
+    rng.fill(&mut v);
+    v
+}
+
+fn random_array<const N: usize>(rng: &mut StdRng) -> [u8; N] {
+    let mut a = [0u8; N];
+    rng.fill(&mut a);
+    a
+}
+
+#[test]
+fn dns_query_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC1);
+    for _ in 0..CASES {
+        let id: u16 = rng.gen();
+        let name = random_domain(&mut rng);
         let msg = dns::Message::query(id, &name);
         let parsed = dns::Message::parse(&msg.encode()).unwrap();
-        prop_assert_eq!(parsed, msg);
+        assert_eq!(parsed, msg);
     }
+}
 
-    #[test]
-    fn dns_answer_roundtrip(
-        id in any::<u16>(),
-        name in arb_domain(),
-        addrs in proptest::collection::vec(any::<u32>().prop_map(Ipv4Addr::from), 1..8),
-        ttl in any::<u32>(),
-    ) {
+#[test]
+fn dns_answer_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC2);
+    for _ in 0..CASES {
+        let id: u16 = rng.gen();
+        let name = random_domain(&mut rng);
+        let addrs: Vec<Ipv4Addr> = (0..rng.gen_range(1usize..8))
+            .map(|_| Ipv4Addr::from(rng.gen::<u32>()))
+            .collect();
+        let ttl: u32 = rng.gen();
         let q = dns::Message::query(id, &name);
         let a = dns::Message::answer(&q, &addrs, ttl);
         let parsed = dns::Message::parse(&a.encode()).unwrap();
-        prop_assert_eq!(parsed.a_records().count(), addrs.len());
+        assert_eq!(parsed.a_records().count(), addrs.len());
         for ((_, got), want) in parsed.a_records().zip(addrs.iter()) {
-            prop_assert_eq!(got, *want);
+            assert_eq!(got, *want);
         }
     }
+}
 
-    #[test]
-    fn dns_parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn dns_parse_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xC3);
+    for _ in 0..CASES {
+        let data = random_bytes(&mut rng, 0..256);
         let _ = dns::Message::parse(&data);
     }
+}
 
-    #[test]
-    fn tls_client_hello_roundtrip(random in any::<[u8; 32]>(), sni in arb_domain()) {
+#[test]
+fn tls_client_hello_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC4);
+    for _ in 0..CASES {
+        let random: [u8; 32] = random_array(&mut rng);
+        let sni = random_domain(&mut rng);
         let ch = tls::ClientHello::new(random, &sni);
         let rec = ch.to_record();
         let (parsed_rec, _) = tls::Record::parse(&rec.encode()).unwrap();
         let parsed = tls::ClientHello::parse(&parsed_rec.payload).unwrap();
-        prop_assert_eq!(parsed.sni.as_deref(), Some(sni.as_str()));
-        prop_assert_eq!(parsed.random, random);
+        assert_eq!(parsed.sni.as_deref(), Some(sni.as_str()));
+        assert_eq!(parsed.random, random);
     }
+}
 
-    #[test]
-    fn tls_parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn tls_parse_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xC5);
+    for _ in 0..CASES {
+        let data = random_bytes(&mut rng, 0..512);
         let _ = tls::Record::parse(&data);
         let _ = tls::ClientHello::parse(&data);
         let _ = tls::sni_from_stream(&data);
     }
+}
 
-    #[test]
-    fn http_request_roundtrip(
-        host in arb_domain(),
-        path_seg in arb_label(),
-        body in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
-        let path = format!("/{path_seg}");
+#[test]
+fn http_request_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC6);
+    for _ in 0..CASES {
+        let host = random_domain(&mut rng);
+        let path = format!("/{}", random_label(&mut rng));
+        let body = random_bytes(&mut rng, 0..256);
         let req = http::Request::new("POST", &host, &path).body(body.clone());
         let parsed = http::Request::parse(&req.encode()).unwrap();
-        prop_assert_eq!(parsed.host(), Some(host.as_str()));
-        prop_assert_eq!(parsed.body, body);
+        assert_eq!(parsed.host(), Some(host.as_str()));
+        assert_eq!(parsed.body, body);
     }
+}
 
-    #[test]
-    fn http_parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn http_parse_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xC7);
+    for _ in 0..CASES {
+        let data = random_bytes(&mut rng, 0..512);
         let _ = http::Request::parse(&data);
         let _ = http::Response::parse(&data);
     }
+}
 
-    #[test]
-    fn mqtt_roundtrip(topic in arb_label(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn mqtt_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC8);
+    for _ in 0..CASES {
+        let topic = random_label(&mut rng);
+        let payload = random_bytes(&mut rng, 0..512);
         let pkt = mqtt::MqttPacket::Publish { topic, payload };
         let bytes = pkt.encode();
         let (parsed, rest) = mqtt::MqttPacket::parse(&bytes).unwrap();
-        prop_assert_eq!(parsed, pkt);
-        prop_assert!(rest.is_empty());
+        assert_eq!(parsed, pkt);
+        assert!(rest.is_empty());
     }
+}
 
-    #[test]
-    fn mqtt_parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn mqtt_parse_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xC9);
+    for _ in 0..CASES {
+        let data = random_bytes(&mut rng, 0..256);
         let _ = mqtt::MqttPacket::parse(&data);
     }
+}
 
-    #[test]
-    fn ntp_roundtrip(micros in 0u64..4_000_000_000_000_000) {
+#[test]
+fn ntp_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xCA);
+    for _ in 0..CASES {
+        let micros = rng.gen_range(0u64..4_000_000_000_000_000);
         let pkt = ntp::NtpPacket::client(micros);
         let parsed = ntp::NtpPacket::parse(&pkt.encode()).unwrap();
-        prop_assert_eq!(parsed, pkt);
+        assert_eq!(parsed, pkt);
     }
+}
 
-    #[test]
-    fn dhcp_roundtrip(xid in any::<u32>(), mac in any::<[u8; 6]>(), d in 1u8..=254) {
+#[test]
+fn dhcp_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xCB);
+    for _ in 0..CASES {
+        let xid: u32 = rng.gen();
+        let mac: [u8; 6] = random_array(&mut rng);
+        let d = rng.gen_range(1u8..=254);
         let msg = dhcp::DhcpMessage::request(
             xid,
             iot_net::mac::MacAddr(mac),
             Ipv4Addr::new(192, 168, 10, d),
         );
         let parsed = dhcp::DhcpMessage::parse(&msg.encode()).unwrap();
-        prop_assert_eq!(parsed, msg);
+        assert_eq!(parsed, msg);
     }
+}
 
-    /// Each generated protocol must be identified as itself, never as a
-    /// different concrete protocol.
-    #[test]
-    fn identifier_is_consistent(name in arb_domain(), random in any::<[u8; 32]>()) {
+/// Each generated protocol must be identified as itself, never as a
+/// different concrete protocol.
+#[test]
+fn identifier_is_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xCC);
+    for _ in 0..CASES {
+        let name = random_domain(&mut rng);
+        let random: [u8; 32] = random_array(&mut rng);
+
         let dns_q = dns::Message::query(1, &name).encode();
-        prop_assert_eq!(identify_flow(Transport::Udp, 53, &dns_q, &[]), ProtocolId::Dns);
+        assert_eq!(identify_flow(Transport::Udp, 53, &dns_q, &[]), ProtocolId::Dns);
 
         let tls_stream = tls::ClientHello::new(random, &name).to_record().encode();
-        prop_assert_eq!(identify_flow(Transport::Tcp, 443, &tls_stream, &[]), ProtocolId::Tls);
+        assert_eq!(identify_flow(Transport::Tcp, 443, &tls_stream, &[]), ProtocolId::Tls);
 
         let http_req = http::Request::new("GET", &name, "/").encode();
-        prop_assert_eq!(identify_flow(Transport::Tcp, 80, &http_req, &[]), ProtocolId::Http);
+        assert_eq!(identify_flow(Transport::Tcp, 80, &http_req, &[]), ProtocolId::Http);
 
         let quic_d = quic::QuicLongHeader::encode_initial(&random[..8], &random);
-        prop_assert_eq!(identify_flow(Transport::Udp, 443, &quic_d, &[]), ProtocolId::Quic);
+        assert_eq!(identify_flow(Transport::Udp, 443, &quic_d, &[]), ProtocolId::Quic);
     }
+}
 
-    /// The identifier must never panic on arbitrary bytes.
-    #[test]
-    fn identifier_never_panics(
-        out in proptest::collection::vec(any::<u8>(), 0..512),
-        inn in proptest::collection::vec(any::<u8>(), 0..512),
-        port in any::<u16>(),
-    ) {
+/// The identifier must never panic on arbitrary bytes.
+#[test]
+fn identifier_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xCD);
+    for _ in 0..CASES {
+        let out = random_bytes(&mut rng, 0..512);
+        let inn = random_bytes(&mut rng, 0..512);
+        let port: u16 = rng.gen();
         let _ = identify_flow(Transport::Tcp, port, &out, &inn);
         let _ = identify_flow(Transport::Udp, port, &out, &inn);
     }

@@ -6,10 +6,9 @@
 //! leaks (§6.2), and the quirks it exhibits when idle (§7.2).
 
 use iot_geodb::geo::Region;
-use serde::Serialize;
 
 /// Device categories of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Category {
     /// Security cameras and video doorbells.
     Camera,
@@ -52,7 +51,7 @@ impl Category {
 }
 
 /// Which testbeds stock the device (Table 1 flags).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Availability {
     /// Purchased for the US lab only.
     UsOnly,
@@ -63,7 +62,7 @@ pub enum Availability {
 }
 
 /// Wire protocol an endpoint speaks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EndpointProtocol {
     /// TLS on TCP/443 (handshake with SNI + ciphertext records).
     Tls,
@@ -82,7 +81,7 @@ pub enum EndpointProtocol {
 }
 
 /// Payload family carried inside a flow (drives entropy & PII analyses).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PayloadKind {
     /// Encrypted application data (TLS-band entropy).
     Ciphertext,
@@ -103,7 +102,7 @@ pub enum PayloadKind {
 }
 
 /// One remote endpoint a device communicates with.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Endpoint {
     /// Fully qualified host name, e.g. `device-metrics-us.amazon.com`.
     /// Empty for literal-IP peers (no DNS, no SNI — stays unlabeled).
@@ -146,7 +145,7 @@ impl Endpoint {
 }
 
 /// Activity groups, aligned with Table 10's rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ActivityKind {
     /// Power-on handshake.
     Power,
@@ -178,7 +177,7 @@ impl ActivityKind {
 
 /// How the interaction is performed (§3.3): these become part of the
 /// experiment label, e.g. `android_lan_on`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InteractionMethod {
     /// Physical interaction or on-device voice.
     Local,
@@ -210,7 +209,7 @@ impl InteractionMethod {
 }
 
 /// One burst of exchange with one endpoint inside an activity.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Flight {
     /// Index into the device's endpoint list.
     pub endpoint: usize,
@@ -263,7 +262,7 @@ impl Flight {
 }
 
 /// One scripted interaction from Table 1's bottom row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ActivitySpec {
     /// Short activity name, e.g. `"on"`, `"move"`, `"voice"`.
     pub name: &'static str,
@@ -276,7 +275,7 @@ pub struct ActivitySpec {
 }
 
 /// What identifier a device leaks in plaintext and where (§6.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PiiKind {
     /// The device's MAC address.
     MacAddress,
@@ -289,7 +288,7 @@ pub enum PiiKind {
 }
 
 /// Textual encoding of a leaked identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PiiEncoding {
     /// Verbatim ASCII.
     Plain,
@@ -300,7 +299,7 @@ pub enum PiiEncoding {
 }
 
 /// When a leak fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PiiTrigger {
     /// During the power-on handshake.
     OnPower,
@@ -309,7 +308,7 @@ pub enum PiiTrigger {
 }
 
 /// A plaintext identifier leak.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PiiLeak {
     /// Endpoint index the leak is sent to.
     pub endpoint: usize,
@@ -325,7 +324,7 @@ pub struct PiiLeak {
 }
 
 /// Idle-time quirks (§7.2).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct IdleBehavior {
     /// Mean Wi-Fi disconnect/reconnect events per hour (drives spurious
     /// "power" detections; verified via DHCP logs in the paper).
@@ -348,7 +347,7 @@ impl Default for IdleBehavior {
 }
 
 /// A complete device model.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DeviceSpec {
     /// Product name as in Table 1.
     pub name: &'static str,

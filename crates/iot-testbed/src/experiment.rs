@@ -7,11 +7,9 @@ use crate::traffic::TrafficGenerator;
 use crate::util::stable_seed;
 use iot_geodb::registry::GeoDb;
 use iot_net::packet::Packet;
-use rand::Rng;
-use serde::Serialize;
 
 /// The kind of a controlled or uncontrolled experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExperimentKind {
     /// Power the device on and capture two minutes of traffic.
     Power,
@@ -104,7 +102,7 @@ pub fn run_interaction(
     let mut g = TrafficGenerator::new(db, device, vpn, seed, start_micros);
     // §6.1: experiments contain traffic unrelated to the interaction
     // (e.g. NTP); the classifier must tolerate it.
-    let mut noise: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed ^ 0xA0A0);
+    let mut noise = iot_core::rng::StdRng::seed_from_u64(seed ^ 0xA0A0);
     if noise.gen_bool(0.3) {
         g.ntp_exchange();
     }
@@ -208,7 +206,7 @@ pub fn run_idle(
         Spontaneous(usize),
     }
     let mut events: Vec<(u64, IdleEvent)> = Vec::new();
-    let mut schedule = |rate_per_hour: f64, event: IdleEvent, rng: &mut rand::rngs::StdRng| {
+    let mut schedule = |rate_per_hour: f64, event: IdleEvent, rng: &mut iot_core::rng::StdRng| {
         if rate_per_hour <= 0.0 {
             return;
         }
@@ -220,7 +218,7 @@ pub fn run_idle(
             events.push((at, event));
         }
     };
-    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed ^ 0xE11E);
+    let mut rng = iot_core::rng::StdRng::seed_from_u64(seed ^ 0xE11E);
     schedule(spec.idle.keepalives_per_hour, IdleEvent::Keepalive, &mut rng);
     schedule(reconnect_rate, IdleEvent::Reconnect, &mut rng);
     for (i, &(_, rate)) in spec.idle.spontaneous.iter().enumerate() {
@@ -261,7 +259,7 @@ pub fn run_idle(
 
 /// Samples an event count with mean `expected` (Poisson approximated by a
 /// binomial-style accumulation; exact distribution is not load-bearing).
-fn sample_count(rng: &mut rand::rngs::StdRng, expected: f64) -> u64 {
+fn sample_count(rng: &mut iot_core::rng::StdRng, expected: f64) -> u64 {
     let floor = expected.floor() as u64;
     let frac = expected - floor as f64;
     let mut n = 0u64;

@@ -5,11 +5,10 @@ use crate::device::DeviceSpec;
 use iot_geodb::geo::Region;
 use iot_net::mac::MacAddr;
 use iot_net::packet::PacketBuilder;
-use serde::Serialize;
 use std::net::Ipv4Addr;
 
 /// Which lab a device is deployed in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LabSite {
     /// Northeastern University, Boston (US).
     Us,

@@ -99,36 +99,95 @@ impl Campaign {
         count
     }
 
-    /// Streams every controlled experiment (power + interaction) to
-    /// `consume`, in a deterministic order.
-    pub fn run<F: FnMut(LabeledExperiment)>(&self, db: &GeoDb, mut consume: F) {
-        let vpn_options: &[bool] = if self.config.include_vpn {
+    fn vpn_options(&self) -> &'static [bool] {
+        if self.config.include_vpn {
             &[false, true]
         } else {
             &[false]
-        };
-        for lab in &self.labs {
-            for device in &lab.devices {
-                let spec = device.spec();
-                for &vpn in vpn_options {
-                    for rep in 0..self.config.power_reps {
-                        consume(run_power(db, device, vpn, rep, 0));
-                    }
-                    for activity in &spec.activities {
-                        for &method in activity.methods {
-                            let reps = if method.is_automated() {
-                                self.config.automated_reps
-                            } else {
-                                self.config.manual_reps
-                            };
-                            for rep in 0..reps {
-                                consume(run_interaction(
-                                    db, device, activity, method, vpn, rep, 0,
-                                ));
-                            }
-                        }
+        }
+    }
+
+    /// Streams every controlled experiment of one deployed device.
+    fn controlled_for_device<F: FnMut(LabeledExperiment)>(
+        &self,
+        db: &GeoDb,
+        device: &crate::lab::DeviceInstance,
+        consume: &mut F,
+    ) {
+        let spec = device.spec();
+        for &vpn in self.vpn_options() {
+            for rep in 0..self.config.power_reps {
+                consume(run_power(db, device, vpn, rep, 0));
+            }
+            for activity in &spec.activities {
+                for &method in activity.methods {
+                    let reps = if method.is_automated() {
+                        self.config.automated_reps
+                    } else {
+                        self.config.manual_reps
+                    };
+                    for rep in 0..reps {
+                        consume(run_interaction(db, device, activity, method, vpn, rep, 0));
                     }
                 }
+            }
+        }
+    }
+
+    /// Streams the idle captures of one deployed device.
+    fn idle_for_device<F: FnMut(LabeledExperiment)>(
+        &self,
+        db: &GeoDb,
+        device: &crate::lab::DeviceInstance,
+        consume: &mut F,
+    ) {
+        for &vpn in self.vpn_options() {
+            consume(run_idle(db, device, vpn, self.config.idle_hours, 0));
+        }
+    }
+
+    /// Streams every controlled experiment (power + interaction) to
+    /// `consume`, in a deterministic order.
+    pub fn run<F: FnMut(LabeledExperiment)>(&self, db: &GeoDb, mut consume: F) {
+        for lab in &self.labs {
+            for device in &lab.devices {
+                self.controlled_for_device(db, device, &mut consume);
+            }
+        }
+    }
+
+    /// Number of shardable work units: one per deployed (lab × device)
+    /// instance. Experiment generation is seeded per (device, activity,
+    /// rep, site, vpn), so units are independent of consumption order.
+    pub fn unit_count(&self) -> usize {
+        self.labs.iter().map(|l| l.devices.len()).sum()
+    }
+
+    /// Streams every experiment — controlled *and* idle — of the work
+    /// units owned by shard `shard` of `num_shards`. Units are dealt
+    /// round-robin over the flattened (lab × device) grid, so shard
+    /// loads stay balanced and the union over all shards is exactly the
+    /// experiment set of [`Campaign::run`] + [`Campaign::run_idle`].
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero or `shard >= num_shards`.
+    pub fn run_shard<F: FnMut(LabeledExperiment)>(
+        &self,
+        db: &GeoDb,
+        shard: usize,
+        num_shards: usize,
+        mut consume: F,
+    ) {
+        assert!(num_shards > 0, "num_shards must be positive");
+        assert!(shard < num_shards, "shard {shard} out of {num_shards}");
+        let mut unit = 0usize;
+        for lab in &self.labs {
+            for device in &lab.devices {
+                if unit % num_shards == shard {
+                    self.controlled_for_device(db, device, &mut consume);
+                    self.idle_for_device(db, device, &mut consume);
+                }
+                unit += 1;
             }
         }
     }
@@ -163,16 +222,9 @@ impl Campaign {
     /// Runs the idle captures for every device at every (lab, vpn)
     /// combination.
     pub fn run_idle<F: FnMut(LabeledExperiment)>(&self, db: &GeoDb, mut consume: F) {
-        let vpn_options: &[bool] = if self.config.include_vpn {
-            &[false, true]
-        } else {
-            &[false]
-        };
         for lab in &self.labs {
             for device in &lab.devices {
-                for &vpn in vpn_options {
-                    consume(run_idle(db, device, vpn, self.config.idle_hours, 0));
-                }
+                self.idle_for_device(db, device, &mut consume);
             }
         }
     }
@@ -230,6 +282,39 @@ mod tests {
         assert!(labels.contains("local_menu"));
         assert!(labels.contains("local_voice"));
         assert!(labels.contains("local_volume"));
+    }
+
+    #[test]
+    fn shards_partition_the_campaign() {
+        let db = GeoDb::new();
+        let campaign = Campaign::new(CampaignConfig {
+            automated_reps: 1,
+            manual_reps: 1,
+            power_reps: 1,
+            idle_hours: 0.05,
+            include_vpn: false,
+        });
+        let key = |e: &LabeledExperiment| {
+            (e.device_name, e.site, e.vpn, e.label.clone(), e.rep)
+        };
+        let mut serial = Vec::new();
+        campaign.run(&db, |e| serial.push(key(&e)));
+        campaign.run_idle(&db, |e| serial.push(key(&e)));
+        serial.sort();
+        for num_shards in [1usize, 3, 8] {
+            let mut sharded = Vec::new();
+            for shard in 0..num_shards {
+                campaign.run_shard(&db, shard, num_shards, |e| sharded.push(key(&e)));
+            }
+            sharded.sort();
+            assert_eq!(serial, sharded, "{num_shards} shards");
+        }
+    }
+
+    #[test]
+    fn unit_count_matches_deployed_devices() {
+        let campaign = Campaign::new(CampaignConfig::quick());
+        assert_eq!(campaign.unit_count(), 81);
     }
 
     #[test]

@@ -19,8 +19,7 @@ use iot_geodb::registry::GeoDb;
 use iot_net::packet::Packet;
 use iot_net::tcp::TcpFlags;
 use iot_protocols::{dhcp, dns, http, mqtt, ntp, quic, tls};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use iot_core::rng::StdRng;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 

@@ -19,8 +19,7 @@ use crate::traffic::TrafficGenerator;
 use crate::util::stable_seed;
 use iot_geodb::registry::GeoDb;
 use iot_net::packet::Packet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use iot_core::rng::StdRng;
 
 /// Ground truth for one user-study event.
 #[derive(Debug, Clone, PartialEq, Eq)]

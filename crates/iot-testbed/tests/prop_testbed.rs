@@ -1,87 +1,105 @@
-//! Property-based tests over the simulator: for *any* device, seed, and
+//! Property tests over the simulator: for *any* device, seed, and
 //! experiment type, the capture must be valid, time-ordered, attributable
-//! traffic.
+//! traffic. Driven by the in-tree deterministic PRNG with fixed seeds.
 
+use iot_core::rng::StdRng;
 use iot_geodb::registry::GeoDb;
 use iot_testbed::catalog;
 use iot_testbed::experiment::{run_interaction, run_power};
 use iot_testbed::lab::{Lab, LabSite};
-use proptest::prelude::*;
 
-fn arb_site() -> impl Strategy<Value = LabSite> {
-    prop_oneof![Just(LabSite::Us), Just(LabSite::Uk)]
+const CASES: usize = 64;
+
+fn random_site(rng: &mut StdRng) -> LabSite {
+    if rng.gen_bool(0.5) {
+        LabSite::Us
+    } else {
+        LabSite::Uk
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Pick a (device, site) pair where the device is actually stocked, the
+/// deterministic analogue of the old `prop_assume!(spec.available_at(site))`.
+fn random_deployment(rng: &mut StdRng) -> (usize, LabSite) {
+    loop {
+        let device_idx = rng.gen_range(0..catalog::all().len());
+        let site = random_site(rng);
+        if catalog::all()[device_idx].available_at(site) {
+            return (device_idx, site);
+        }
+    }
+}
 
-    /// Every power capture of every device parses, is time-ordered, and
-    /// involves only the device and its gateway at layer 2.
-    #[test]
-    fn power_capture_valid(
-        device_idx in 0..catalog::all().len(),
-        site in arb_site(),
-        vpn in any::<bool>(),
-        rep in 0u32..4,
-    ) {
+/// Every power capture of every device parses, is time-ordered, and
+/// involves only the device and its gateway at layer 2.
+#[test]
+fn power_capture_valid() {
+    let db = GeoDb::new();
+    let mut rng = StdRng::seed_from_u64(0xA1);
+    for _ in 0..CASES {
+        let (device_idx, site) = random_deployment(&mut rng);
+        let vpn = rng.gen_bool(0.5);
+        let rep = rng.gen_range(0u32..4);
         let spec = &catalog::all()[device_idx];
-        prop_assume!(spec.available_at(site));
-        let db = GeoDb::new();
         let lab = Lab::deploy(site);
         let device = lab.device(spec.name).unwrap();
         let exp = run_power(&db, device, vpn, rep, 0);
-        prop_assert!(!exp.packets.is_empty());
+        assert!(!exp.packets.is_empty());
         let mut last_ts = 0u64;
         for p in &exp.packets {
-            let frame = p.parse_frame().map_err(|e| {
-                TestCaseError::fail(format!("{}: {e}", spec.name))
-            })?;
+            let frame = p
+                .parse_frame()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             if let iot_net::packet::Frame::Ip(parsed) = frame {
-                prop_assert!(
+                assert!(
                     parsed.src_mac == device.mac || parsed.dst_mac == device.mac,
                     "{}: frame not attributable to the device",
                     spec.name
                 );
             }
-            prop_assert!(p.ts_micros >= last_ts, "{}: time went backwards", spec.name);
+            assert!(p.ts_micros >= last_ts, "{}: time went backwards", spec.name);
             last_ts = p.ts_micros;
         }
     }
+}
 
-    /// Repetition seeds are independent: distinct reps differ, same rep is
-    /// byte-identical.
-    #[test]
-    fn interaction_reproducible(
-        device_idx in 0..catalog::all().len(),
-        site in arb_site(),
-        rep in 0u32..8,
-    ) {
+/// Repetition seeds are independent: distinct reps differ, same rep is
+/// byte-identical.
+#[test]
+fn interaction_reproducible() {
+    let db = GeoDb::new();
+    let mut rng = StdRng::seed_from_u64(0xA2);
+    let mut checked = 0;
+    while checked < CASES {
+        let (device_idx, site) = random_deployment(&mut rng);
         let spec = &catalog::all()[device_idx];
-        prop_assume!(spec.available_at(site));
-        prop_assume!(!spec.activities.is_empty());
-        let db = GeoDb::new();
+        if spec.activities.is_empty() {
+            continue;
+        }
+        checked += 1;
+        let rep = rng.gen_range(0u32..8);
         let lab = Lab::deploy(site);
         let device = lab.device(spec.name).unwrap();
         let act = &spec.activities[0];
         let method = act.methods[0];
         let a = run_interaction(&db, device, act, method, false, rep, 0);
         let b = run_interaction(&db, device, act, method, false, rep, 0);
-        prop_assert_eq!(&a.packets, &b.packets);
+        assert_eq!(a.packets, b.packets);
         let c = run_interaction(&db, device, act, method, false, rep + 100, 0);
-        prop_assert_ne!(&a.packets, &c.packets);
+        assert_ne!(a.packets, c.packets);
     }
+}
 
-    /// Every destination address in every capture is attributable: it is
-    /// the lab gateway, or a registered block of the synthetic Internet.
-    #[test]
-    fn destinations_attributable(
-        device_idx in 0..catalog::all().len(),
-        site in arb_site(),
-        vpn in any::<bool>(),
-    ) {
+/// Every destination address in every capture is attributable: it is
+/// the lab gateway, or a registered block of the synthetic Internet.
+#[test]
+fn destinations_attributable() {
+    let db = GeoDb::new();
+    let mut rng = StdRng::seed_from_u64(0xA3);
+    for _ in 0..CASES {
+        let (device_idx, site) = random_deployment(&mut rng);
+        let vpn = rng.gen_bool(0.5);
         let spec = &catalog::all()[device_idx];
-        prop_assume!(spec.available_at(site));
-        let db = GeoDb::new();
         let lab = Lab::deploy(site);
         let device = lab.device(spec.name).unwrap();
         let exp = run_power(&db, device, vpn, 0, 0);
@@ -93,7 +111,7 @@ proptest! {
             for ip in [parsed.ip.src, parsed.ip.dst] {
                 let o = ip.octets();
                 let local = o[0] == subnet[0] && o[1] == subnet[1] && o[2] == subnet[2];
-                prop_assert!(
+                assert!(
                     local || db.whois_ip(ip).is_some(),
                     "{}: unattributable address {ip}",
                     spec.name

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Tier-1 verification gate, fully offline.
+#
+# 1. Release build + full test suite with the network disabled — proves
+#    the zero-dependency policy holds (no crates.io access is ever
+#    needed).
+# 2. A quick-scale run of the serial-vs-parallel pipeline benchmark.
+#    bench_pipeline exits non-zero if the parallel report diverges from
+#    the serial one, so divergence fails this script.
+set -e
+cd "$(dirname "$0")"
+export CARGO_NET_OFFLINE=true
+
+echo "=== tier-1: cargo build --release ==="
+cargo build --release
+
+echo "=== tier-1: cargo test -q ==="
+cargo test -q
+
+echo "=== workspace tests ==="
+cargo test -q --workspace
+
+echo "=== bench: serial vs parallel pipeline (quick scale) ==="
+cargo build --release -p iot-bench --bin bench_pipeline
+# Write to a scratch path so routine verification never clobbers the
+# committed BENCH_pipeline.json baseline (regenerate that explicitly
+# with the bench binary's defaults).
+IOT_SCALE=quick IOT_BENCH_ITERS="${IOT_BENCH_ITERS:-1}" \
+  IOT_BENCH_OUT="${IOT_BENCH_OUT:-target/verify_bench.json}" \
+  ./target/release/bench_pipeline
+
+echo "verify.sh: OK"
