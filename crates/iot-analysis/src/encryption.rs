@@ -225,6 +225,16 @@ impl EncryptionAnalysis {
         }
     }
 
+    /// Total classified bytes across every (site, vpn, device) context —
+    /// the corpus-wide byte mix, used by observability counters.
+    pub fn total_bytes_by_class(&self) -> ClassBytes {
+        let mut agg = ClassBytes::default();
+        for cb in self.per_device.values() {
+            agg.merge(cb);
+        }
+        agg
+    }
+
     fn rows_of(exp: &LabeledExperiment) -> Vec<Table8Row> {
         match exp.kind {
             ExperimentKind::Idle => vec![Table8Row::Idle],

@@ -12,6 +12,22 @@
 //!   generation is seeded per (device, activity, rep, site, vpn), and
 //!   every accumulator merge is order-independent, so the fold is exactly
 //!   equivalent to serial ingestion.
+//!
+//! # Observability
+//!
+//! Every driver is instrumented through `iot-obs` (gated on `IOT_OBS`,
+//! or forced via [`Pipeline::with_obs`]): spans around campaign
+//! generation, per-experiment ingest stages (flow reconstruction,
+//! destination mapping, encryption classification, PII scan), shard
+//! execution, and [`Pipeline::finish`]; counters for experiments,
+//! packets, flows, total/per-[`EncryptionClass`] bytes, and PII
+//! findings; histograms of per-experiment packet and per-flow byte
+//! sizes; and per-worker shard-size gauges so load imbalance in the
+//! parallel driver is visible. Each [`PipelineShard`] carries its own
+//! shard-local registry — the hot path stays unlocked — and registries
+//! fold together with the analyses. [`Pipeline::finish_with_obs`]
+//! returns the merged registry for report emission; the pipeline report
+//! itself is byte-identical with observability on or off.
 
 use crate::destinations::{ColumnCtx, DestinationAnalysis};
 use crate::encryption::EncryptionAnalysis;
@@ -21,10 +37,12 @@ use iot_core::json::{Json, ToJson};
 use iot_entropy::EncryptionClass;
 use iot_geodb::party::PartyType;
 use iot_geodb::registry::GeoDb;
+use iot_obs::Registry;
 use iot_testbed::lab::LabSite;
 use iot_testbed::schedule::{Campaign, CampaignConfig};
 use iot_testbed::traffic::{identity_of, DeviceIdentity};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Aggregate report over one campaign run.
 #[derive(Debug)]
@@ -89,15 +107,18 @@ struct PipelineShard {
     encryption: EncryptionAnalysis,
     pii: Vec<PiiFinding>,
     experiments: u64,
+    /// Shard-local metrics; folds with the rest of the shard.
+    obs: Registry,
 }
 
 impl PipelineShard {
-    fn new() -> Self {
+    fn new(obs_enabled: bool) -> Self {
         PipelineShard {
             destinations: DestinationAnalysis::new(),
             encryption: EncryptionAnalysis::default(),
             pii: Vec::new(),
             experiments: 0,
+            obs: Registry::with_enabled(obs_enabled),
         }
     }
 
@@ -107,11 +128,34 @@ impl PipelineShard {
         identities: &HashMap<(&'static str, LabSite), DeviceIdentity>,
         exp: iot_testbed::experiment::LabeledExperiment,
     ) {
-        let flows = ExperimentFlows::from_experiment(&exp);
-        self.destinations.add_flows(&exp, &flows);
-        self.encryption.add_flows(&exp, &flows);
+        let _ingest = self.obs.span("ingest");
+        self.obs.add("experiments", 1);
+        self.obs.add("packets", exp.packets.len() as u64);
+        self.obs.observe("experiment_packets", exp.packets.len() as u64);
+        let flows = {
+            let _s = self.obs.span("flows");
+            ExperimentFlows::from_experiment(&exp)
+        };
+        self.obs.add("flows", flows.flows.len() as u64);
+        self.obs.add("bytes", flows.total_bytes());
+        if self.obs.enabled() {
+            for lf in &flows.flows {
+                self.obs.observe("flow_bytes", lf.flow.total_bytes());
+            }
+        }
+        {
+            let _s = self.obs.span("destinations");
+            self.destinations.add_flows(&exp, &flows);
+        }
+        {
+            let _s = self.obs.span("encryption");
+            self.encryption.add_flows(&exp, &flows);
+        }
         if let Some(identity) = identities.get(&(exp.device_name, exp.site)) {
-            self.pii.extend(scan_experiment(db, &exp, &flows, identity));
+            let _s = self.obs.span("pii");
+            let found = scan_experiment(db, &exp, &flows, identity);
+            self.obs.add("pii_findings", found.len() as u64);
+            self.pii.extend(found);
         }
         self.experiments += 1;
     }
@@ -128,6 +172,7 @@ pub struct Pipeline {
     /// PII findings (RQ3).
     pub pii: Vec<PiiFinding>,
     experiments: u64,
+    obs: Registry,
 }
 
 impl Default for Pipeline {
@@ -149,15 +194,29 @@ fn campaign_identities(
 }
 
 impl Pipeline {
-    /// Creates an empty pipeline.
+    /// Creates an empty pipeline; observability follows the `IOT_OBS`
+    /// environment gate.
     pub fn new() -> Self {
+        Self::with_obs(iot_obs::enabled())
+    }
+
+    /// Creates an empty pipeline with observability explicitly forced on
+    /// or off, ignoring the environment. The overhead benchmark measures
+    /// both modes in one process through this.
+    pub fn with_obs(obs_enabled: bool) -> Self {
         Pipeline {
             db: GeoDb::new(),
             destinations: DestinationAnalysis::new(),
             encryption: EncryptionAnalysis::default(),
             pii: Vec::new(),
             experiments: 0,
+            obs: Registry::with_enabled(obs_enabled),
         }
+    }
+
+    /// The pipeline's metric registry (shard registries fold into it).
+    pub fn obs(&self) -> &Registry {
+        &self.obs
     }
 
     fn absorb(&mut self, shard: PipelineShard) {
@@ -165,18 +224,35 @@ impl Pipeline {
         self.encryption.merge(shard.encryption);
         self.pii.extend(shard.pii);
         self.experiments += shard.experiments;
+        self.obs.merge(shard.obs);
     }
 
     /// Runs a full campaign (controlled + idle) through every analysis.
     pub fn run_campaign(&mut self, config: CampaignConfig) {
-        let campaign = Campaign::new(config);
-        let identities = campaign_identities(&campaign);
-        let mut shard = PipelineShard::new();
-        let mut ingest = |exp: iot_testbed::experiment::LabeledExperiment| {
-            shard.ingest(&self.db, &identities, exp);
+        let campaign = {
+            let _s = self.obs.span("campaign_new");
+            Campaign::new(config)
         };
-        campaign.run(&self.db, &mut ingest);
-        campaign.run_idle(&self.db, &mut ingest);
+        let identities = {
+            let _s = self.obs.span("identities");
+            campaign_identities(&campaign)
+        };
+        let mut shard = PipelineShard::new(self.obs.enabled());
+        let start = Instant::now();
+        {
+            let mut ingest = |exp: iot_testbed::experiment::LabeledExperiment| {
+                shard.ingest(&self.db, &identities, exp);
+            };
+            campaign.run(&self.db, &mut ingest);
+            campaign.run_idle(&self.db, &mut ingest);
+        }
+        // An RAII guard cannot wrap the closure above (it would borrow the
+        // shard that ingest mutates), so the shard region is timed by hand.
+        shard.obs.record_ns("shard", start.elapsed());
+        if shard.obs.enabled() {
+            shard.obs.set_gauge("worker.0.experiments", shard.experiments as f64);
+        }
+        self.obs.set_gauge("workers", 1.0);
         self.absorb(shard);
     }
 
@@ -190,10 +266,17 @@ impl Pipeline {
     /// Panics if `workers` is zero.
     pub fn run_campaign_parallel(&mut self, config: CampaignConfig, workers: usize) {
         assert!(workers > 0, "workers must be positive");
-        let campaign = Campaign::new(config);
-        let identities = campaign_identities(&campaign);
+        let campaign = {
+            let _s = self.obs.span("campaign_new");
+            Campaign::new(config)
+        };
+        let identities = {
+            let _s = self.obs.span("identities");
+            campaign_identities(&campaign)
+        };
         // More workers than work units would leave idle threads behind.
         let workers = workers.min(campaign.unit_count().max(1));
+        let obs_enabled = self.obs.enabled();
         let db = &self.db;
         let campaign_ref = &campaign;
         let identities_ref = &identities;
@@ -201,10 +284,18 @@ impl Pipeline {
             let handles: Vec<_> = (0..workers)
                 .map(|shard_idx| {
                     scope.spawn(move || {
-                        let mut shard = PipelineShard::new();
+                        let mut shard = PipelineShard::new(obs_enabled);
+                        let start = Instant::now();
                         campaign_ref.run_shard(db, shard_idx, workers, |exp| {
                             shard.ingest(db, identities_ref, exp);
                         });
+                        shard.obs.record_ns("shard", start.elapsed());
+                        if obs_enabled {
+                            shard.obs.set_gauge(
+                                &format!("worker.{shard_idx}.experiments"),
+                                shard.experiments as f64,
+                            );
+                        }
                         shard
                     })
                 })
@@ -214,13 +305,37 @@ impl Pipeline {
                 .map(|h| h.join().expect("pipeline worker panicked"))
                 .collect()
         });
+        self.obs.set_gauge("workers", workers as f64);
         for shard in shards {
             self.absorb(shard);
         }
     }
 
-    /// Builds the aggregate report.
+    /// Builds the aggregate report, discarding the metric registry.
     pub fn finish(self) -> PipelineReport {
+        self.finish_with_obs().0
+    }
+
+    /// Builds the aggregate report and hands back the merged metric
+    /// registry, from which callers emit an `iot_obs::RunReport`. Also
+    /// records corpus-level counters (`bytes_unencrypted` / `_encrypted`
+    /// / `_unknown`) so the byte mix survives into the run report.
+    pub fn finish_with_obs(self) -> (PipelineReport, Registry) {
+        let Pipeline {
+            db: _,
+            destinations,
+            encryption,
+            pii,
+            experiments,
+            obs,
+        } = self;
+        let start = Instant::now();
+        if obs.enabled() {
+            let mix = encryption.total_bytes_by_class();
+            obs.add("bytes_unencrypted", mix.unencrypted);
+            obs.add("bytes_encrypted", mix.encrypted);
+            obs.add("bytes_unknown", mix.unknown);
+        }
         let mut support_destinations = HashMap::new();
         let mut third_destinations = HashMap::new();
         let mut encryption_mix = HashMap::new();
@@ -232,14 +347,14 @@ impl Pipeline {
             };
             support_destinations.insert(
                 site.name().to_string(),
-                self.destinations.unique_destinations_total(ctx, PartyType::Support),
+                destinations.unique_destinations_total(ctx, PartyType::Support),
             );
             third_destinations.insert(
                 site.name().to_string(),
-                self.destinations.unique_destinations_total(ctx, PartyType::Third),
+                destinations.unique_destinations_total(ctx, PartyType::Third),
             );
             let mut agg = crate::encryption::ClassBytes::default();
-            for (_, cb) in self.encryption.device_bytes(site, false) {
+            for (_, cb) in encryption.device_bytes(site, false) {
                 agg.merge(&cb);
             }
             encryption_mix.insert(
@@ -253,16 +368,18 @@ impl Pipeline {
         }
         // Findings accumulate in driver-dependent order; sort for stable
         // report bytes (see PiiFinding::sort_key).
-        let mut pii_findings = self.pii;
+        let mut pii_findings = pii;
         pii_findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
-        PipelineReport {
-            experiments: self.experiments,
+        let report = PipelineReport {
+            experiments,
             support_destinations,
             third_destinations,
-            devices_with_non_first: self.destinations.devices_with_non_first_party(),
+            devices_with_non_first: destinations.devices_with_non_first_party(),
             encryption_mix,
             pii_findings,
-        }
+        };
+        obs.record_ns("finish", start.elapsed());
+        (report, obs)
     }
 }
 

@@ -1,26 +1,39 @@
 //! End-to-end determinism: the same campaign configuration must produce
 //! byte-identical report JSON through the serial driver and through the
 //! sharded parallel driver at every worker count — the contract that
-//! makes the parallel pipeline a drop-in replacement.
+//! makes the parallel pipeline a drop-in replacement. The observability
+//! layer must preserve both halves of that contract: instrumentation
+//! must not perturb the pipeline report, and the deterministic subset of
+//! the obs report (counters + histograms) must itself be a pure function
+//! of the corpus, independent of driver and worker count.
 
 use iot_analysis::pipeline::Pipeline;
 use iot_core::json::ToJson;
+use iot_obs::{Registry, RunReport};
 use iot_testbed::schedule::CampaignConfig;
 
-fn report_json(parallel_workers: Option<usize>) -> String {
-    let config = CampaignConfig {
+fn test_config() -> CampaignConfig {
+    CampaignConfig {
         automated_reps: 1,
         manual_reps: 1,
         power_reps: 1,
         idle_hours: 0.02,
         include_vpn: true,
-    };
-    let mut p = Pipeline::new();
-    match parallel_workers {
-        None => p.run_campaign(config),
-        Some(w) => p.run_campaign_parallel(config, w),
     }
-    p.finish().to_json().dump()
+}
+
+fn run(obs: bool, parallel_workers: Option<usize>) -> (String, Registry) {
+    let mut p = Pipeline::with_obs(obs);
+    match parallel_workers {
+        None => p.run_campaign(test_config()),
+        Some(w) => p.run_campaign_parallel(test_config(), w),
+    }
+    let (report, reg) = p.finish_with_obs();
+    (report.to_json().dump(), reg)
+}
+
+fn report_json(parallel_workers: Option<usize>) -> String {
+    run(false, parallel_workers).0
 }
 
 #[test]
@@ -39,4 +52,33 @@ fn serial_and_parallel_reports_are_byte_identical() {
 #[test]
 fn repeated_serial_runs_are_byte_identical() {
     assert_eq!(report_json(None), report_json(None));
+}
+
+#[test]
+fn instrumentation_does_not_change_the_pipeline_report() {
+    let (plain, _) = run(false, None);
+    let (instrumented, reg) = run(true, None);
+    assert_eq!(plain, instrumented, "obs on/off must not affect the report");
+    assert!(reg.counter("experiments") > 0, "obs run must actually record");
+}
+
+#[test]
+fn obs_deterministic_report_is_byte_identical_across_workers() {
+    let (_, serial_reg) = run(true, None);
+    let serial_det = RunReport::from_registry("det", &serial_reg)
+        .deterministic_json()
+        .dump();
+    // Counters reflect the corpus, not the topology.
+    for name in ["experiments", "packets", "flows", "bytes", "pii_findings"] {
+        assert!(serial_reg.counter(name) > 0, "counter {name} must be non-zero");
+    }
+    for workers in [1usize, 2, 8] {
+        let (_, reg) = run(true, Some(workers));
+        let det = RunReport::from_registry("det", &reg).deterministic_json().dump();
+        assert_eq!(
+            serial_det, det,
+            "obs deterministic report with {workers} workers diverged from serial"
+        );
+        assert_eq!(reg.gauge("workers"), Some(workers as f64));
+    }
 }

@@ -6,6 +6,14 @@
 //! driver, verifies the two reports are byte-identical, and writes the
 //! timing summary to `BENCH_pipeline.json`.
 //!
+//! The baseline benches force observability *off* (regardless of
+//! `IOT_OBS`, so the committed trajectory stays comparable), then a third
+//! bench re-runs the serial driver with observability forced *on*; the
+//! ratio of the two medians is the instrumentation overhead that
+//! `obs_check` gates in `verify.sh`. When `IOT_OBS` is set, an
+//! `iot_obs::RunReport` for one instrumented run is written to
+//! `IOT_OBS_OUT` (default `results/obs_run.json`).
+//!
 //! Environment knobs:
 //!
 //! * `IOT_SCALE` — campaign grid (`quick` / `medium` / `full`); this
@@ -17,11 +25,13 @@
 //! * `IOT_BENCH_WORKERS` — parallel worker count (default: available
 //!   hardware parallelism).
 //! * `IOT_BENCH_OUT` — output path (default `BENCH_pipeline.json`).
+//! * `IOT_OBS` / `IOT_OBS_OUT` — run-report emission (see `iot-obs`).
 
 use iot_analysis::pipeline::Pipeline;
 use iot_bench::harness::bench;
 use iot_bench::{campaign_config, Scale};
 use iot_core::json::{Json, ToJson};
+use iot_obs::RunReport;
 use iot_testbed::schedule::{Campaign, CampaignConfig};
 use std::io::Write;
 
@@ -33,14 +43,14 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-fn serial_report_json(config: CampaignConfig) -> String {
-    let mut p = Pipeline::new();
+fn serial_report_json(config: CampaignConfig, obs: bool) -> String {
+    let mut p = Pipeline::with_obs(obs);
     p.run_campaign(config);
     p.finish().to_json().dump()
 }
 
 fn parallel_report_json(config: CampaignConfig, workers: usize) -> String {
-    let mut p = Pipeline::new();
+    let mut p = Pipeline::with_obs(false);
     p.run_campaign_parallel(config, workers);
     p.finish().to_json().dump()
 }
@@ -63,28 +73,42 @@ fn main() {
     let experiments =
         Campaign::new(config).controlled_experiment_count();
 
-    eprintln!(
+    iot_obs::progress!(
         "bench_pipeline: scale={} experiments≈{experiments} workers={workers} \
          iters={iters} warmup={warmup} hw_threads={hw_threads}",
         scale.name()
     );
 
-    // Correctness gate first: the parallel driver must reproduce the
-    // serial report byte for byte before its timings mean anything.
-    let serial_json = serial_report_json(config);
+    // Correctness gates first: the parallel driver must reproduce the
+    // serial report byte for byte, and turning instrumentation on must
+    // not change the report, before any timing means anything.
+    let serial_json = serial_report_json(config, false);
     let parallel_json = parallel_report_json(config, workers);
     let identical = serial_json == parallel_json;
     if !identical {
         eprintln!("bench_pipeline: FAIL — parallel report diverged from serial");
     }
+    let (obs_report, obs_registry) = {
+        let mut p = Pipeline::with_obs(true);
+        p.run_campaign_parallel(config, workers);
+        p.finish_with_obs()
+    };
+    let obs_identical = obs_report.to_json().dump() == serial_json;
+    if !obs_identical {
+        eprintln!("bench_pipeline: FAIL — instrumented report diverged from baseline");
+    }
 
     let serial = bench("pipeline_serial", warmup, iters, || {
-        serial_report_json(config)
+        serial_report_json(config, false)
     });
     let parallel = bench("pipeline_parallel", warmup, iters, || {
         parallel_report_json(config, workers)
     });
+    let serial_obs = bench("pipeline_serial_obs", warmup, iters, || {
+        serial_report_json(config, true)
+    });
     let speedup = serial.median_ms() / parallel.median_ms();
+    let obs_overhead = serial_obs.median_ms() / serial.median_ms();
 
     let mut out = Json::obj();
     out.set("benchmark", "pipeline_ingestion".to_json());
@@ -93,14 +117,19 @@ fn main() {
     out.set("workers", workers.to_json());
     out.set("hw_threads", hw_threads.to_json());
     out.set("reports_identical", identical.to_json());
+    out.set("obs_report_identical", obs_identical.to_json());
     out.set("serial", serial.to_json());
     out.set("parallel", parallel.to_json());
+    out.set("serial_obs", serial_obs.to_json());
     out.set("speedup_median", speedup.to_json());
+    out.set("obs_overhead_ratio", obs_overhead.to_json());
     out.set(
         "note",
         "speedup_median = serial median / parallel median; expect ≥2x on 4+ \
          hardware threads, ~1x or slightly below on a single core (sharding \
-         overhead without parallel hardware)"
+         overhead without parallel hardware). obs_overhead_ratio = serial \
+         median with IOT_OBS instrumentation forced on / forced off; gated \
+         <1.05 by obs_check in verify.sh"
             .to_json(),
     );
 
@@ -109,13 +138,26 @@ fn main() {
     let mut f = std::fs::File::create(&path).expect("create bench output");
     writeln!(f, "{}", out.pretty()).expect("write bench output");
 
-    eprintln!(
+    if iot_obs::enabled() {
+        let report = RunReport::from_registry("bench_pipeline", &obs_registry)
+            .meta("scale", scale.name())
+            .meta("workers", &workers.to_string())
+            .meta("experiments", &experiments.to_string());
+        match report.write() {
+            Ok(p) => iot_obs::progress!("bench_pipeline: obs report -> {}", p.display()),
+            Err(e) => eprintln!("bench_pipeline: obs report write failed: {e}"),
+        }
+        iot_obs::progress!("{}", report.stage_table());
+    }
+
+    iot_obs::progress!(
         "bench_pipeline: serial median {:.1} ms, parallel median {:.1} ms \
-         ({workers} workers), speedup {speedup:.2}x -> {path}",
+         ({workers} workers), speedup {speedup:.2}x, obs overhead \
+         {obs_overhead:.3}x -> {path}",
         serial.median_ms(),
         parallel.median_ms()
     );
-    if !identical {
+    if !identical || !obs_identical {
         std::process::exit(1);
     }
 }

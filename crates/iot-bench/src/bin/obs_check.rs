@@ -1,0 +1,162 @@
+//! Observability smoke + overhead gate, run by `verify.sh`.
+//!
+//! Usage:
+//!
+//! ```text
+//! obs_check <obs_run.json> <fresh_bench.json> [committed_bench.json]
+//! ```
+//!
+//! Asserts that the run report written by an `IOT_OBS=1` bench run is
+//! well-formed and non-trivial:
+//!
+//! 1. the report parses as JSON (through the in-tree parser);
+//! 2. the stage counters (`experiments`, `flows`, `bytes`, `packets`)
+//!    are non-zero;
+//! 3. per-stage spans and per-worker gauges are present;
+//! 4. the instrumentation overhead measured by the fresh bench run
+//!    (`obs_overhead_ratio`) stays under 5%, with a small absolute
+//!    tolerance so sub-millisecond noise on tiny grids cannot fail the
+//!    gate spuriously.
+//!
+//! The optional third argument is the committed benchmark trajectory;
+//! its comparison is warn-only because absolute times from a different
+//! machine say nothing reliable about this one.
+//!
+//! Exits non-zero on any hard failure, so `verify.sh` can gate on it.
+
+use iot_core::json::Json;
+use std::process::ExitCode;
+
+/// Hard ceiling on obs-on / obs-off median ratio.
+const MAX_OVERHEAD_RATIO: f64 = 1.05;
+/// Absolute slack: ratios above the ceiling still pass when the median
+/// delta is below this, so timer jitter on very fast runs cannot flake.
+const ABS_TOLERANCE_MS: f64 = 75.0;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn counter(report: &Json, name: &str) -> u64 {
+    report
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+fn median_ms(bench: &Json, section: &str) -> Option<f64> {
+    bench.get(section)?.get("median_ms")?.as_f64()
+}
+
+fn check(obs_path: &str, bench_path: &str, committed_path: Option<&str>) -> Result<(), String> {
+    let report = load(obs_path)?;
+    let bench = load(bench_path)?;
+
+    // 2. Stage counters must show the pipeline actually processed data.
+    for name in ["experiments", "packets", "flows", "bytes"] {
+        let v = counter(&report, name);
+        if v == 0 {
+            return Err(format!("{obs_path}: counter {name:?} is zero or missing"));
+        }
+        println!("obs_check: counter {name} = {v}");
+    }
+
+    // 3. Spans and worker gauges present.
+    let spans = report
+        .get("spans")
+        .and_then(Json::members)
+        .ok_or_else(|| format!("{obs_path}: no spans section"))?;
+    if spans.is_empty() {
+        return Err(format!("{obs_path}: spans section is empty"));
+    }
+    for required in ["ingest", "shard"] {
+        if !spans.iter().any(|(k, _)| k == required) {
+            return Err(format!("{obs_path}: missing span {required:?}"));
+        }
+    }
+    println!("obs_check: {} span paths", spans.len());
+    let gauges = report
+        .get("gauges")
+        .and_then(Json::members)
+        .ok_or_else(|| format!("{obs_path}: no gauges section"))?;
+    if gauges.iter().all(|(k, _)| k != "workers") {
+        return Err(format!("{obs_path}: missing gauge \"workers\""));
+    }
+    let worker_gauges = gauges
+        .iter()
+        .filter(|(k, _)| k.starts_with("worker.") && k.ends_with(".experiments"))
+        .count();
+    if worker_gauges == 0 {
+        return Err(format!("{obs_path}: no per-worker shard-size gauges"));
+    }
+    println!("obs_check: {worker_gauges} per-worker gauge(s)");
+
+    // 4. Overhead gate on the fresh in-process measurement.
+    let ratio = bench
+        .get("obs_overhead_ratio")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{bench_path}: no obs_overhead_ratio"))?;
+    let base = median_ms(&bench, "serial")
+        .ok_or_else(|| format!("{bench_path}: no serial median"))?;
+    let obs = median_ms(&bench, "serial_obs")
+        .ok_or_else(|| format!("{bench_path}: no serial_obs median"))?;
+    let delta = obs - base;
+    println!(
+        "obs_check: overhead ratio {ratio:.4} (serial {base:.1} ms -> obs {obs:.1} ms, \
+         delta {delta:+.1} ms)"
+    );
+    if ratio > MAX_OVERHEAD_RATIO && delta > ABS_TOLERANCE_MS {
+        return Err(format!(
+            "observability overhead {ratio:.4}x exceeds {MAX_OVERHEAD_RATIO}x \
+             (delta {delta:.1} ms > {ABS_TOLERANCE_MS} ms tolerance)"
+        ));
+    }
+    if !bench
+        .get("obs_report_identical")
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+    {
+        return Err(format!(
+            "{bench_path}: instrumented pipeline report diverged from baseline"
+        ));
+    }
+
+    // Warn-only cross-check against the committed trajectory.
+    if let Some(path) = committed_path {
+        match load(path) {
+            Ok(committed) => {
+                if let (Some(now), Some(then)) =
+                    (median_ms(&bench, "serial"), median_ms(&committed, "serial"))
+                {
+                    let rel = now / then;
+                    println!(
+                        "obs_check: serial median {now:.1} ms vs committed {then:.1} ms \
+                         ({rel:.2}x; informational — different machines differ)"
+                    );
+                }
+            }
+            Err(e) => println!("obs_check: committed baseline unreadable ({e}); skipping"),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: obs_check <obs_run.json> <fresh_bench.json> [committed_bench.json]");
+        return ExitCode::FAILURE;
+    }
+    match check(&args[0], &args[1], args.get(2).map(String::as_str)) {
+        Ok(()) => {
+            println!("obs_check: OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs_check: FAIL — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -28,7 +28,7 @@ fn main() {
     for lab in campaign.labs() {
         for device in &lab.devices {
             for vpn in [false, true] {
-                eprintln!("  inferring {} @ {:?} vpn={}", device.spec().name, device.site, vpn);
+                iot_obs::progress!("  inferring {} @ {:?} vpn={}", device.spec().name, device.site, vpn);
                 let inf = infer_device(&db, &campaign, device, vpn, &config);
                 if !vpn {
                     for kind in inf.present_activity_kinds() {

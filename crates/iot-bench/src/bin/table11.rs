@@ -35,7 +35,7 @@ fn main() {
                     (LabSite::Us, true) => 2,
                     (LabSite::Uk, true) => 3,
                 };
-                eprintln!(
+                iot_obs::progress!(
                     "  training {} @ {:?} vpn={}",
                     device.spec().name,
                     device.site,

@@ -7,9 +7,9 @@ use iot_geodb::party::PartyType;
 
 fn main() {
     let scale = iot_bench::scale();
-    eprintln!("building corpus at {scale:?} scale…");
+    iot_obs::progress!("building corpus at {scale:?} scale…");
     let corpus = iot_bench::build_corpus(iot_bench::campaign_config(scale));
-    eprintln!("ingested {} experiments", corpus.experiments);
+    iot_obs::progress!("ingested {} experiments", corpus.experiments);
 
     let columns = ColumnCtx::standard();
     let mut headers = vec!["Experiment", "Party"];

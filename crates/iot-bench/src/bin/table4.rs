@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 
 fn main() {
     let scale = iot_bench::scale();
-    eprintln!("building corpus at {scale:?} scale…");
+    iot_obs::progress!("building corpus at {scale:?} scale…");
     let corpus = iot_bench::build_corpus(iot_bench::campaign_config(scale));
 
     let columns = ColumnCtx::standard();

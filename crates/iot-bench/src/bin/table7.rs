@@ -8,7 +8,7 @@ use iot_testbed::lab::LabSite;
 
 fn main() {
     let scale = iot_bench::scale();
-    eprintln!("building corpus at {scale:?} scale…");
+    iot_obs::progress!("building corpus at {scale:?} scale…");
     let corpus = iot_bench::build_corpus(iot_bench::campaign_config(scale));
 
     // The paper's Table 7 device list.

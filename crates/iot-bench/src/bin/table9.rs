@@ -22,7 +22,7 @@ fn main() {
             let spec = device.spec();
             *totals.entry(spec.category).or_default() += 1;
             for vpn in [false, true] {
-                eprintln!("  inferring {} @ {:?} vpn={}", spec.name, device.site, vpn);
+                iot_obs::progress!("  inferring {} @ {:?} vpn={}", spec.name, device.site, vpn);
                 let inf = infer_device(&db, &campaign, device, vpn, &config);
                 if inf.report.macro_f1 > F1_INFERRABLE {
                     *counts

@@ -42,7 +42,7 @@ fn main() {
             Some(d) => d,
             None => continue,
         };
-        eprintln!("  training {}", capture.device_name);
+        iot_obs::progress!("  training {}", capture.device_name);
         let model = train_device_model(&db, &campaign, device, false, &config);
         let detections = match detect_activities(&model, &capture.packets) {
             Some(d) => d,

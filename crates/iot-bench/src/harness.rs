@@ -18,14 +18,28 @@ pub struct BenchResult {
     pub iters: usize,
     /// Per-iteration wall-clock times, milliseconds, in run order.
     pub times_ms: Vec<f64>,
+    /// `times_ms` sorted ascending, computed once at construction so
+    /// every quantile query is a plain index.
+    sorted_ms: Vec<f64>,
 }
 
 impl BenchResult {
+    /// Builds a result, pre-sorting the sample for quantile queries.
+    pub fn new(name: String, iters: usize, times_ms: Vec<f64>) -> Self {
+        let mut sorted_ms = times_ms.clone();
+        sorted_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        BenchResult {
+            name,
+            iters,
+            times_ms,
+            sorted_ms,
+        }
+    }
+
     /// q-th quantile (0–1) of the recorded times, nearest-rank on the
     /// sorted sample.
     pub fn quantile_ms(&self, q: f64) -> f64 {
-        let mut sorted = self.times_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let sorted = &self.sorted_ms;
         if sorted.is_empty() {
             return 0.0;
         }
@@ -45,12 +59,12 @@ impl BenchResult {
 
     /// Fastest iteration.
     pub fn min_ms(&self) -> f64 {
-        self.times_ms.iter().copied().fold(f64::INFINITY, f64::min)
+        self.sorted_ms.first().copied().unwrap_or(f64::INFINITY)
     }
 
     /// Slowest iteration.
     pub fn max_ms(&self) -> f64 {
-        self.times_ms.iter().copied().fold(0.0, f64::max)
+        self.sorted_ms.last().copied().unwrap_or(0.0)
     }
 }
 
@@ -87,11 +101,7 @@ pub fn bench<T, F: FnMut() -> T>(
         std::hint::black_box(op());
         times_ms.push(start.elapsed().as_secs_f64() * 1e3);
     }
-    BenchResult {
-        name: name.to_string(),
-        iters,
-        times_ms,
-    }
+    BenchResult::new(name.to_string(), iters, times_ms)
 }
 
 #[cfg(test)]
@@ -115,24 +125,18 @@ mod tests {
 
     #[test]
     fn quantiles_on_known_sample() {
-        let r = BenchResult {
-            name: "x".into(),
-            iters: 4,
-            times_ms: vec![4.0, 1.0, 3.0, 2.0],
-        };
+        let r = BenchResult::new("x".into(), 4, vec![4.0, 1.0, 3.0, 2.0]);
         assert_eq!(r.median_ms(), 2.0);
         assert_eq!(r.p95_ms(), 4.0);
         assert_eq!(r.min_ms(), 1.0);
         assert_eq!(r.max_ms(), 4.0);
+        // Run order is preserved alongside the sorted view.
+        assert_eq!(r.times_ms, vec![4.0, 1.0, 3.0, 2.0]);
     }
 
     #[test]
     fn result_serializes() {
-        let r = BenchResult {
-            name: "x".into(),
-            iters: 1,
-            times_ms: vec![1.5],
-        };
+        let r = BenchResult::new("x".into(), 1, vec![1.5]);
         let s = r.to_json().dump();
         assert!(s.contains("\"median_ms\":1.5"), "{s}");
     }

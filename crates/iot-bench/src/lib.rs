@@ -21,6 +21,7 @@ use iot_analysis::flows::ExperimentFlows;
 use iot_analysis::pii::{scan_experiment, PiiFinding};
 use iot_analysis::report::TextTable;
 use iot_geodb::registry::GeoDb;
+use iot_obs::{Registry, RunReport};
 use iot_testbed::lab::LabSite;
 use iot_testbed::schedule::{Campaign, CampaignConfig};
 use iot_testbed::traffic::identity_of;
@@ -130,17 +131,29 @@ pub struct Corpus {
     pub unenc_samples: HashMap<(LabSite, bool, &'static str), Vec<f64>>,
     /// Number of experiments ingested.
     pub experiments: u64,
+    /// Metrics recorded while building (empty unless `IOT_OBS` >= 1).
+    pub obs: Registry,
 }
 
 /// Builds the shared corpus: every controlled experiment plus the idle
-/// captures of the campaign.
+/// captures of the campaign. When `IOT_OBS` is set, the build is traced
+/// into [`Corpus::obs`] and a run report is written to `IOT_OBS_OUT`
+/// (default `results/obs_run.json`), so every table binary produces a
+/// machine-readable run report for free.
 pub fn build_corpus(config: CampaignConfig) -> Corpus {
     let db = GeoDb::new();
-    let campaign = Campaign::new(config);
+    let obs = Registry::new();
+    let campaign = {
+        let _s = obs.span("campaign_new");
+        Campaign::new(config)
+    };
     let mut identities = HashMap::new();
-    for lab in campaign.labs() {
-        for d in &lab.devices {
-            identities.insert((d.spec().name, d.site), identity_of(d));
+    {
+        let _s = obs.span("identities");
+        for lab in campaign.labs() {
+            for d in &lab.devices {
+                identities.insert((d.spec().name, d.site), identity_of(d));
+            }
         }
     }
 
@@ -149,12 +162,31 @@ pub fn build_corpus(config: CampaignConfig) -> Corpus {
     let mut pii = Vec::new();
     let mut unenc_samples: HashMap<_, Vec<f64>> = HashMap::new();
     let mut experiments = 0u64;
+    let obs_ref = &obs;
     let mut ingest = |exp: iot_testbed::experiment::LabeledExperiment| {
-        let flows = ExperimentFlows::from_experiment(&exp);
-        destinations.add_flows(&exp, &flows);
-        encryption.add_flows(&exp, &flows);
+        let _ingest = obs_ref.span("ingest");
+        obs_ref.add("experiments", 1);
+        obs_ref.add("packets", exp.packets.len() as u64);
+        obs_ref.observe("experiment_packets", exp.packets.len() as u64);
+        let flows = {
+            let _s = obs_ref.span("flows");
+            ExperimentFlows::from_experiment(&exp)
+        };
+        obs_ref.add("flows", flows.flows.len() as u64);
+        obs_ref.add("bytes", flows.total_bytes());
+        {
+            let _s = obs_ref.span("destinations");
+            destinations.add_flows(&exp, &flows);
+        }
+        {
+            let _s = obs_ref.span("encryption");
+            encryption.add_flows(&exp, &flows);
+        }
         if let Some(identity) = identities.get(&(exp.device_name, exp.site)) {
-            pii.extend(scan_experiment(&db, &exp, &flows, identity));
+            let _s = obs_ref.span("pii");
+            let found = scan_experiment(&db, &exp, &flows, identity);
+            obs_ref.add("pii_findings", found.len() as u64);
+            pii.extend(found);
         }
         let mut unenc = 0u64;
         let mut total = 0u64;
@@ -177,12 +209,22 @@ pub fn build_corpus(config: CampaignConfig) -> Corpus {
     };
     campaign.run(&db, &mut ingest);
     campaign.run_idle(&db, &mut ingest);
+    drop(ingest);
+    if obs.enabled() {
+        let report = RunReport::from_registry("build_corpus", &obs)
+            .meta("experiments", &experiments.to_string());
+        match report.write() {
+            Ok(path) => iot_obs::progress!("obs report written to {}", path.display()),
+            Err(e) => eprintln!("obs report write failed: {e}"),
+        }
+    }
     Corpus {
         destinations,
         encryption,
         pii,
         unenc_samples,
         experiments,
+        obs,
     }
 }
 

@@ -1,0 +1,70 @@
+//! Environment-driven configuration.
+//!
+//! Two variables control the layer, both read once per process:
+//!
+//! * `IOT_OBS` — verbosity. `0`/unset: disabled (near-zero overhead);
+//!   `1`: metrics recorded and run reports written; `2`: additionally
+//!   print [`progress!`](crate::progress) lines to stderr.
+//! * `IOT_OBS_OUT` — run-report path (default `results/obs_run.json`).
+
+use std::sync::OnceLock;
+
+/// Default run-report path when `IOT_OBS_OUT` is unset.
+pub const DEFAULT_OUT: &str = "results/obs_run.json";
+
+/// Resolved configuration.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Verbosity level (0 = off, 1 = metrics, 2 = metrics + progress).
+    pub verbosity: u8,
+    /// Run-report output path.
+    pub out_path: String,
+}
+
+impl ObsConfig {
+    /// Reads the configuration from the environment.
+    pub fn from_env() -> Self {
+        let verbosity = std::env::var("IOT_OBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u8>().ok())
+            .unwrap_or(0);
+        let out_path =
+            std::env::var("IOT_OBS_OUT").unwrap_or_else(|_| DEFAULT_OUT.to_string());
+        ObsConfig { verbosity, out_path }
+    }
+}
+
+/// The process-wide configuration, read from the environment on first
+/// use and cached for the lifetime of the process.
+pub fn global() -> &'static ObsConfig {
+    static CONFIG: OnceLock<ObsConfig> = OnceLock::new();
+    CONFIG.get_or_init(ObsConfig::from_env)
+}
+
+/// Whether metric recording is enabled (`IOT_OBS >= 1`).
+pub fn enabled() -> bool {
+    global().verbosity >= 1
+}
+
+/// Whether progress logging is enabled (`IOT_OBS >= 2`).
+pub fn verbose() -> bool {
+    global().verbosity >= 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_env_defaults_are_quiet() {
+        // The test environment does not set IOT_OBS* (verify.sh only sets
+        // them for specific child processes), so defaults apply.
+        let c = ObsConfig::from_env();
+        if std::env::var("IOT_OBS").is_err() {
+            assert_eq!(c.verbosity, 0);
+        }
+        if std::env::var("IOT_OBS_OUT").is_err() {
+            assert_eq!(c.out_path, DEFAULT_OUT);
+        }
+    }
+}

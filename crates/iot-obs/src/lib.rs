@@ -1,0 +1,61 @@
+//! # iot-obs
+//!
+//! Zero-dependency observability layer for the analysis pipeline:
+//! tracing spans, metrics, and machine-readable run reports.
+//!
+//! The design mirrors the pipeline's `PipelineShard` pattern: every
+//! worker owns a private [`Registry`] and records into it without any
+//! locking; registries [`merge`](Registry::merge) order-independently
+//! when the shards fold, so a parallel run accumulates exactly the same
+//! metrics a serial run does. Concretely:
+//!
+//! * [`registry`] — the [`Registry`]: shard-local counters, gauges,
+//!   fixed-bucket histograms, and hierarchical spans.
+//! * [`span`] — [`SpanStats`] and the RAII [`SpanGuard`] returned by
+//!   [`Registry::span`]: wall-clock plus call counts aggregated per
+//!   `parent/child` label path.
+//! * [`metrics`] — the deterministic power-of-two-bucket [`Histogram`].
+//! * [`report`] — [`RunReport`]: a snapshot of a registry rendered as
+//!   deterministic JSON (via `iot_core::json`) or as a human-readable
+//!   stage table, written to `results/obs_run.json` by default.
+//! * [`config`] — the `IOT_OBS` / `IOT_OBS_OUT` environment gates.
+//! * [`process`] — process-wide atomic counters for layers (like the
+//!   testbed generators) that have no registry in scope.
+//! * [`log`] — the [`progress!`](crate::progress) macro: stderr progress
+//!   lines that only print at `IOT_OBS=2`.
+//!
+//! ## Enablement
+//!
+//! The layer is off by default and compiles down to a branch per call
+//! site when disabled: no clocks are read, no strings are allocated,
+//! nothing is written. `IOT_OBS=1` turns recording (and report writing)
+//! on; `IOT_OBS=2` additionally prints progress lines. Registries can
+//! also be forced on or off programmatically with
+//! [`Registry::with_enabled`] — benches use this to measure
+//! instrumentation overhead inside one process.
+//!
+//! ## Determinism
+//!
+//! Counter and histogram merges are associative and commutative, so the
+//! merged values are byte-identical across any worker count — that
+//! subset is exposed as [`RunReport::deterministic_json`] and gated by
+//! `iot-analysis`'s determinism tests. Span timings and per-worker
+//! gauges are intrinsically run-dependent and only appear in the full
+//! [`RunReport::to_json`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod log;
+pub mod metrics;
+pub mod process;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use config::{enabled, verbose};
+pub use metrics::Histogram;
+pub use registry::{Registry, SpanGuard};
+pub use report::RunReport;
+pub use span::SpanStats;

@@ -1,0 +1,39 @@
+//! Verbosity-gated progress logging.
+//!
+//! The table/bench binaries used to `eprintln!` progress lines
+//! unconditionally; [`progress!`](crate::progress) keeps them available
+//! behind `IOT_OBS=2` so default output (and `run_all_tables.sh` logs)
+//! stays clean.
+
+/// Re-export so the macro body can reach the gate through `$crate`.
+pub use crate::config::verbose;
+
+/// Prints a progress line to stderr, but only when `IOT_OBS >= 2`.
+///
+/// Formatting arguments are not evaluated when logging is off, so call
+/// sites stay free even with expensive `Display` arguments.
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        if $crate::log::verbose() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn progress_compiles_and_skips_when_quiet() {
+        let mut evaluated = false;
+        // IOT_OBS is unset in the test environment, so the closure-like
+        // argument must not be evaluated.
+        crate::progress!("{}", {
+            evaluated = true;
+            "x"
+        });
+        if !crate::config::verbose() {
+            assert!(!evaluated);
+        }
+    }
+}

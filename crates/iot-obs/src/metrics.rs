@@ -1,0 +1,220 @@
+//! Deterministic fixed-bucket histogram.
+//!
+//! Buckets are powers of two fixed at compile time, so the histogram of
+//! a value stream is a pure function of the multiset of values: merging
+//! two histograms is elementwise addition, which is associative and
+//! commutative — the property the shard-merge determinism tests rely on.
+
+use iot_core::json::{Json, ToJson};
+
+/// Histogram over `u64` samples with power-of-two buckets.
+///
+/// Bucket 0 counts exact zeros; bucket `i` (1 ≤ i ≤ 32) counts values in
+/// `[2^(i-1), 2^i)`; the last bucket counts everything ≥ 2^32.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; Self::NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; Self::NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket count: zero + 32 power-of-two bands + overflow.
+    pub const NUM_BUCKETS: usize = 34;
+
+    fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros() as usize).min(Self::NUM_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+    /// bucket).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= Self::NUM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self` (elementwise bucket addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank q-th quantile (0–1), resolved to the inclusive upper
+    /// bound of the bucket holding that rank. `None` when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::bucket_upper_bound(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+impl ToJson for Histogram {
+    /// Compact, deterministic form: summary stats plus only the
+    /// non-empty buckets as `[inclusive_upper_bound, count]` pairs.
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("count", self.count.to_json());
+        j.set("sum", self.sum.to_json());
+        j.set("min", self.min().to_json());
+        j.set("max", self.max().to_json());
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                Json::Arr(vec![Self::bucket_upper_bound(i).to_json(), n.to_json()])
+            })
+            .collect();
+        j.set("buckets", Json::Arr(buckets));
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), Histogram::NUM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(2), 3);
+        assert_eq!(
+            Histogram::bucket_upper_bound(Histogram::NUM_BUCKETS - 1),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn merge_matches_serial_observation() {
+        let values = [0u64, 1, 5, 17, 1000, 1 << 40, 3, 3, 64];
+        let mut serial = Histogram::default();
+        for &v in &values {
+            serial.observe(v);
+        }
+        let (left, right) = values.split_at(4);
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for &v in left {
+            a.observe(v);
+        }
+        for &v in right {
+            b.observe(v);
+        }
+        let mut merged_ab = a.clone();
+        merged_ab.merge(&b);
+        let mut merged_ba = b.clone();
+        merged_ba.merge(&a);
+        assert_eq!(merged_ab, serial);
+        assert_eq!(merged_ba, serial, "merge must be commutative");
+        assert_eq!(serial.count(), values.len() as u64);
+        assert_eq!(serial.min(), Some(0));
+        assert_eq!(serial.max(), Some(1 << 40));
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_band() {
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // Median of 1..=100 is ~50 → bucket [32, 64) → upper bound 63.
+        assert_eq!(h.quantile_upper_bound(0.5), Some(63));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(100));
+        assert_eq!(Histogram::default().quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn json_is_compact_and_stable() {
+        let mut h = Histogram::default();
+        h.observe(0);
+        h.observe(5);
+        let s = h.to_json().dump();
+        assert_eq!(
+            s,
+            r#"{"count":2,"sum":5,"min":0,"max":5,"buckets":[[0,1],[7,1]]}"#
+        );
+    }
+}

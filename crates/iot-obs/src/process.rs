@@ -1,0 +1,93 @@
+//! Process-wide atomic counters.
+//!
+//! The testbed's experiment generators run deep inside campaign
+//! iteration where no [`Registry`](crate::Registry) is in scope, and
+//! threading one through every closure would distort the APIs. These
+//! counters are the escape hatch: a small fixed set of relaxed atomics,
+//! incremented only when `IOT_OBS` enables the layer, summed across all
+//! threads (addition commutes, so totals are exact regardless of
+//! scheduling).
+//!
+//! They are *monotonic for the process lifetime* — a run report includes
+//! them as cumulative totals, and they are deliberately excluded from
+//! the deterministic report subset (concurrent pipelines, e.g. parallel
+//! tests, share them).
+
+use iot_core::json::{Json, ToJson};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EXPERIMENTS_GENERATED: AtomicU64 = AtomicU64::new(0);
+static PACKETS_GENERATED: AtomicU64 = AtomicU64::new(0);
+static IDLE_CAPTURES: AtomicU64 = AtomicU64::new(0);
+static STUDY_CAPTURES: AtomicU64 = AtomicU64::new(0);
+
+/// Records one generated labeled experiment and its packet count.
+pub fn record_experiment(packets: usize) {
+    if !crate::config::enabled() {
+        return;
+    }
+    EXPERIMENTS_GENERATED.fetch_add(1, Ordering::Relaxed);
+    PACKETS_GENERATED.fetch_add(packets as u64, Ordering::Relaxed);
+}
+
+/// Records one idle capture (also counted as an experiment by the
+/// generator itself).
+pub fn record_idle_capture() {
+    if !crate::config::enabled() {
+        return;
+    }
+    IDLE_CAPTURES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one uncontrolled user-study capture.
+pub fn record_study_capture(packets: usize) {
+    if !crate::config::enabled() {
+        return;
+    }
+    STUDY_CAPTURES.fetch_add(1, Ordering::Relaxed);
+    PACKETS_GENERATED.fetch_add(packets as u64, Ordering::Relaxed);
+}
+
+/// Cumulative totals since process start, in a stable order.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    vec![
+        (
+            "experiments_generated",
+            EXPERIMENTS_GENERATED.load(Ordering::Relaxed),
+        ),
+        ("packets_generated", PACKETS_GENERATED.load(Ordering::Relaxed)),
+        ("idle_captures", IDLE_CAPTURES.load(Ordering::Relaxed)),
+        ("study_captures", STUDY_CAPTURES.load(Ordering::Relaxed)),
+    ]
+}
+
+/// The snapshot as a JSON object (keys in stable order).
+pub fn snapshot_json() -> Json {
+    let mut j = Json::obj();
+    for (k, v) in snapshot() {
+        j.set(k, v.to_json());
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_has_stable_keys() {
+        let snap = snapshot();
+        let keys: Vec<&str> = snap.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            keys,
+            [
+                "experiments_generated",
+                "packets_generated",
+                "idle_captures",
+                "study_captures"
+            ]
+        );
+        let j = snapshot_json().dump();
+        assert!(j.starts_with("{\"experiments_generated\":"), "{j}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] snapshots a [`Registry`] plus free-form metadata and
+//! renders it three ways:
+//!
+//! * [`RunReport::to_json`] — the full report: metadata, process-wide
+//!   totals, span timings, counters, gauges, and histograms. Sorted
+//!   (`BTreeMap`) keys and `iot_core::json`'s stable float formatting
+//!   make the *serialization* deterministic; the timing *values* are
+//!   run-dependent by nature.
+//! * [`RunReport::deterministic_json`] — the subset whose values are a
+//!   pure function of the analyzed corpus: counters and histograms.
+//!   This is what the determinism tests byte-compare across 1/2/8
+//!   workers; span wall-clocks, per-worker gauges, and process totals
+//!   are excluded because they legitimately vary with scheduling.
+//! * [`RunReport::stage_table`] — a human-readable per-stage table.
+
+use crate::registry::{Registry, Snapshot};
+use iot_core::json::{Json, ToJson};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A finished run's observability report.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Report name (which driver/binary produced it).
+    pub name: String,
+    /// Free-form metadata pairs, in insertion order.
+    pub meta: Vec<(String, String)>,
+    snapshot: Snapshot,
+}
+
+impl RunReport {
+    /// Snapshots `reg` into a report named `name`.
+    pub fn from_registry(name: &str, reg: &Registry) -> Self {
+        RunReport {
+            name: name.to_string(),
+            meta: Vec::new(),
+            snapshot: reg.snapshot(),
+        }
+    }
+
+    /// Adds a metadata pair (builder style).
+    pub fn meta(mut self, key: &str, value: &str) -> Self {
+        self.meta.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// The full report.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("report", self.name.to_json());
+        let mut meta = Json::obj();
+        for (k, v) in &self.meta {
+            meta.set(k, v.to_json());
+        }
+        j.set("meta", meta);
+        j.set("process", crate::process::snapshot_json());
+        let mut spans = Json::obj();
+        for (path, stats) in &self.snapshot.spans {
+            spans.set(path, stats.to_json());
+        }
+        j.set("spans", spans);
+        j.set("counters", self.counters_json());
+        let mut gauges = Json::obj();
+        for (k, v) in &self.snapshot.gauges {
+            gauges.set(k, v.to_json());
+        }
+        j.set("gauges", gauges);
+        j.set("histograms", self.histograms_json());
+        j
+    }
+
+    /// The corpus-determined subset: counters and histograms only, plus
+    /// span *call counts* for per-item spans would vary with sharding,
+    /// so spans are omitted entirely.
+    pub fn deterministic_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("counters", self.counters_json());
+        j.set("histograms", self.histograms_json());
+        j
+    }
+
+    fn counters_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (k, v) in &self.snapshot.counters {
+            counters.set(k, v.to_json());
+        }
+        counters
+    }
+
+    fn histograms_json(&self) -> Json {
+        let mut hists = Json::obj();
+        for (k, h) in &self.snapshot.histograms {
+            hists.set(k, h.to_json());
+        }
+        hists
+    }
+
+    /// Renders the spans as an aligned text table: one row per label
+    /// path, with the percentage column relative to the total wall-clock
+    /// of the top-level (un-nested) spans.
+    pub fn stage_table(&self) -> String {
+        let rows: Vec<(String, u64, f64, f64)> = self
+            .snapshot
+            .spans
+            .iter()
+            .map(|(p, s)| (p.clone(), s.calls, s.total_ms(), s.mean_ms()))
+            .collect();
+        let root_total_ms: f64 = self
+            .snapshot
+            .spans
+            .iter()
+            .filter(|(p, _)| !p.contains('/'))
+            .map(|(_, s)| s.total_ms())
+            .sum();
+        let name_w = rows
+            .iter()
+            .map(|(p, ..)| p.len())
+            .chain(["stage".len()])
+            .max()
+            .unwrap_or(5);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>9}  {:>12}  {:>10}  {:>6}\n",
+            "stage", "calls", "total_ms", "mean_ms", "%"
+        ));
+        for (path, calls, total, mean) in rows {
+            let pct = if root_total_ms > 0.0 {
+                total * 100.0 / root_total_ms
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{path:<name_w$}  {calls:>9}  {total:>12.3}  {mean:>10.4}  {pct:>6.1}\n"
+            ));
+        }
+        out
+    }
+
+    /// Writes the pretty-printed full report to `path`, creating parent
+    /// directories as needed.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.to_json().pretty())
+    }
+
+    /// Writes the report to the configured `IOT_OBS_OUT` path (default
+    /// `results/obs_run.json`) and returns it.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(&crate::config::global().out_path);
+        self.write_to(&path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::with_enabled(true);
+        r.add("experiments", 10);
+        r.add("flows", 55);
+        r.observe("flow_bytes", 100);
+        r.observe("flow_bytes", 4000);
+        r.set_gauge("workers", 2.0);
+        r.record_ns("pipeline", Duration::from_millis(12));
+        r.record_ns("pipeline/ingest", Duration::from_millis(9));
+        r
+    }
+
+    #[test]
+    fn full_report_has_all_sections() {
+        let reg = sample_registry();
+        let j = RunReport::from_registry("test", &reg)
+            .meta("scale", "quick")
+            .to_json();
+        for key in ["report", "meta", "process", "spans", "counters", "gauges", "histograms"] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(
+            j.get("counters").and_then(|c| c.get("experiments")),
+            Some(&Json::UInt(10))
+        );
+        assert_eq!(
+            j.get("meta").and_then(|m| m.get("scale")),
+            Some(&Json::Str("quick".into()))
+        );
+    }
+
+    #[test]
+    fn deterministic_json_excludes_run_dependent_sections() {
+        let reg = sample_registry();
+        let report = RunReport::from_registry("test", &reg);
+        let det = report.deterministic_json();
+        assert!(det.get("counters").is_some());
+        assert!(det.get("histograms").is_some());
+        assert!(det.get("spans").is_none());
+        assert!(det.get("gauges").is_none());
+        assert!(det.get("process").is_none());
+        // Byte-stable across identical registries.
+        let again = RunReport::from_registry("other-name", &sample_registry());
+        assert_eq!(det.dump(), again.deterministic_json().dump());
+    }
+
+    #[test]
+    fn stage_table_lists_every_path() {
+        let reg = sample_registry();
+        let table = RunReport::from_registry("test", &reg).stage_table();
+        assert!(table.contains("pipeline"), "{table}");
+        assert!(table.contains("pipeline/ingest"), "{table}");
+        assert!(table.lines().count() >= 3);
+        // Child shows up as ~75% of the root wall-clock.
+        assert!(table.contains("75.0"), "{table}");
+    }
+
+    #[test]
+    fn write_to_creates_parents_and_valid_json() {
+        let dir = std::env::temp_dir().join("iot_obs_report_test");
+        let path = dir.join("nested").join("obs.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = sample_registry();
+        RunReport::from_registry("test", &reg).write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = Json::parse(&text).expect("report must parse");
+        assert!(parsed.get("counters").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

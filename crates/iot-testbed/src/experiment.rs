@@ -68,6 +68,8 @@ pub fn run_power(
     g.advance_ms(5_000.0);
     g.ntp_exchange();
     g.keepalive();
+    let packets = g.finish();
+    iot_obs::process::record_experiment(packets.len());
     LabeledExperiment {
         device_name: device.spec().name,
         site: device.site,
@@ -76,7 +78,7 @@ pub fn run_power(
         label: "power".to_string(),
         activity: None,
         rep,
-        packets: g.finish(),
+        packets,
     }
 }
 
@@ -162,6 +164,8 @@ pub fn run_interaction(
         g.advance_ms(2_000.0);
         g.keepalive();
     }
+    let packets = g.finish();
+    iot_obs::process::record_experiment(packets.len());
     LabeledExperiment {
         device_name: device.spec().name,
         site: device.site,
@@ -170,7 +174,7 @@ pub fn run_interaction(
         label: format!("{}_{}", method.label_prefix(), activity.name),
         activity: Some(activity.name),
         rep,
-        packets: g.finish(),
+        packets,
     }
 }
 
@@ -245,6 +249,9 @@ pub fn run_idle(
             }
         }
     }
+    let packets = g.finish();
+    iot_obs::process::record_experiment(packets.len());
+    iot_obs::process::record_idle_capture();
     LabeledExperiment {
         device_name: spec.name,
         site: device.site,
@@ -253,7 +260,7 @@ pub fn run_idle(
         label: "idle".to_string(),
         activity: None,
         rep: 0,
-        packets: g.finish(),
+        packets,
     }
 }
 

@@ -163,9 +163,11 @@ pub fn simulate(
                 g.activity(&act);
             }
         }
+        let packets = g.finish();
+        iot_obs::process::record_study_capture(packets.len());
         captures.push(DeviceStudyCapture {
             device_name: name,
-            packets: g.finish(),
+            packets,
         });
     }
     (captures, events)

@@ -14,6 +14,7 @@
 //! * [`ml`] — random forests, metrics, cross-validation (§6.3).
 //! * [`testbed`] — the simulated Mon(IoT)r labs and 81 device models (§3).
 //! * [`analysis`] — the multidimensional analysis pipeline (§4–§7).
+//! * [`obs`] — tracing + metrics layer and machine-readable run reports.
 
 #![forbid(unsafe_code)]
 
@@ -22,5 +23,6 @@ pub use iot_entropy as entropy;
 pub use iot_geodb as geodb;
 pub use iot_ml as ml;
 pub use iot_net as net;
+pub use iot_obs as obs;
 pub use iot_protocols as protocols;
 pub use iot_testbed as testbed;

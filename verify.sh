@@ -4,9 +4,13 @@
 # 1. Release build + full test suite with the network disabled — proves
 #    the zero-dependency policy holds (no crates.io access is ever
 #    needed).
-# 2. A quick-scale run of the serial-vs-parallel pipeline benchmark.
+# 2. A quick-scale run of the serial-vs-parallel pipeline benchmark,
+#    with observability enabled so it also emits an obs run report.
 #    bench_pipeline exits non-zero if the parallel report diverges from
 #    the serial one, so divergence fails this script.
+# 3. obs_check: the observability smoke test — the run report must parse,
+#    its stage counters must be non-zero, and the measured
+#    instrumentation overhead must stay under 5%.
 set -e
 cd "$(dirname "$0")"
 export CARGO_NET_OFFLINE=true
@@ -20,13 +24,23 @@ cargo test -q
 echo "=== workspace tests ==="
 cargo test -q --workspace
 
-echo "=== bench: serial vs parallel pipeline (quick scale) ==="
-cargo build --release -p iot-bench --bin bench_pipeline
-# Write to a scratch path so routine verification never clobbers the
+echo "=== bench: serial vs parallel pipeline (quick scale, obs on) ==="
+cargo build --release -p iot-bench --bin bench_pipeline --bin obs_check
+# Write to scratch paths so routine verification never clobbers the
 # committed BENCH_pipeline.json baseline (regenerate that explicitly
-# with the bench binary's defaults).
-IOT_SCALE=quick IOT_BENCH_ITERS="${IOT_BENCH_ITERS:-1}" \
+# with the bench binary's defaults). IOT_OBS=1 makes the run emit the
+# observability report that obs_check validates below; the benchmark's
+# obs-off baselines force instrumentation off internally, so the env var
+# does not skew them.
+IOT_SCALE=quick IOT_BENCH_ITERS="${IOT_BENCH_ITERS:-3}" \
   IOT_BENCH_OUT="${IOT_BENCH_OUT:-target/verify_bench.json}" \
+  IOT_OBS=1 IOT_OBS_OUT="${IOT_OBS_OUT:-target/obs_run.json}" \
   ./target/release/bench_pipeline
+
+echo "=== obs smoke: run report + overhead gate ==="
+./target/release/obs_check \
+  "${IOT_OBS_OUT:-target/obs_run.json}" \
+  "${IOT_BENCH_OUT:-target/verify_bench.json}" \
+  BENCH_pipeline.json
 
 echo "verify.sh: OK"
