@@ -55,6 +55,13 @@ pub struct ExperimentFlows {
     pub flows: Vec<LabeledFlow>,
     /// DNS name↦address evidence observed in the capture.
     pub dns_map: HashMap<Ipv4Addr, String>,
+    /// Frames that failed to parse *because they were damaged* —
+    /// truncated, length-inconsistent, or checksum-garbled — and were
+    /// skipped, the way tcpdump reports mangled packets. Non-IP frames
+    /// (ARP) are not counted: they are normal gateway chatter. On a
+    /// pristine capture this is zero; under fault injection it feeds the
+    /// pipeline's `IngestStats` quarantine accounting.
+    pub unparsed_packets: u64,
 }
 
 impl ExperimentFlows {
@@ -62,10 +69,22 @@ impl ExperimentFlows {
     pub fn from_experiment(exp: &LabeledExperiment) -> Self {
         let mut table = FlowTable::new(exp.site.subnet(), 24);
         let mut dns_map: HashMap<Ipv4Addr, String> = HashMap::new();
+        let mut unparsed_packets = 0u64;
         for packet in &exp.packets {
             let parsed = match packet.parse() {
                 Ok(p) => p,
-                Err(_) => continue, // corrupt frame: skip, as tcpdump would
+                Err(iot_net::Error::Unsupported { .. }) => {
+                    // Non-IP frames (ARP and friends) are normal gateway
+                    // chatter, not damage; skip silently as before.
+                    continue;
+                }
+                Err(_) => {
+                    // Corrupt frame (truncated, length-inconsistent, or
+                    // checksum-garbled): skip it, as tcpdump would, but
+                    // count it so degraded captures are visible downstream.
+                    unparsed_packets += 1;
+                    continue;
+                }
             };
             // Harvest DNS answers before flow accounting so lookups
             // precede the flows they label.
@@ -85,7 +104,11 @@ impl ExperimentFlows {
             .into_iter()
             .map(|flow| label_flow(flow, &dns_map))
             .collect();
-        ExperimentFlows { flows, dns_map }
+        ExperimentFlows {
+            flows,
+            dns_map,
+            unparsed_packets,
+        }
     }
 
     /// Flows excluding the LAN-side infrastructure chatter (DNS to the

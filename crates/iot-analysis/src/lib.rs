@@ -22,6 +22,8 @@
 //! * [`regional`] — RQ6: statistical comparison of exposure across labs
 //!   and egress points (Table 7's significance marks).
 //! * [`report`] — text/JSON rendering used by the `iot-bench` binaries.
+//! * [`ingest`] — salvage accounting and quarantine: the ledger kept when
+//!   captures arrive degraded (see `iot-chaos` and DESIGN.md §10).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +33,7 @@ pub mod encryption;
 pub mod features;
 pub mod flows;
 pub mod inference;
+pub mod ingest;
 pub mod pii;
 pub mod pipeline;
 pub mod regional;
@@ -40,5 +43,6 @@ pub mod unexpected;
 pub use destinations::DestinationAnalysis;
 pub use encryption::EncryptionAnalysis;
 pub use flows::ExperimentFlows;
+pub use ingest::IngestStats;
 pub use pipeline::{Pipeline, PipelineReport};
 pub use inference::DeviceInference;

@@ -28,21 +28,60 @@
 //! fold together with the analyses. [`Pipeline::finish_with_obs`]
 //! returns the merged registry for report emission; the pipeline report
 //! itself is byte-identical with observability on or off.
+//!
+//! # Degraded captures
+//!
+//! [`Pipeline::set_fault_plan`] inserts an `iot-chaos` fault injector
+//! between experiment generation and analysis: each experiment's capture
+//! is degraded (drops, truncation, bit-flips, corrupt record headers,
+//! torn tails — see `iot_chaos::FaultPlan`), then re-read through the
+//! lenient pcap salvage path. The fault key is derived from the
+//! experiment's identity `(device, site, vpn, label, rep)`, never from
+//! ingestion order, so a faulted campaign is still byte-identical across
+//! the serial and parallel drivers. Analysis runs inside a
+//! `catch_unwind` boundary: a panicking experiment is quarantined — its
+//! packets counted, its accumulator contributions zero — instead of
+//! killing the run, and a worker thread that dies despite that boundary
+//! is folded in as an empty quarantined shard. The whole ledger is a
+//! [`IngestStats`] in the report (`"ingest"` in the JSON), whose
+//! conservation invariant `chaos_check` gates.
 
 use crate::destinations::{ColumnCtx, DestinationAnalysis};
 use crate::encryption::EncryptionAnalysis;
 use crate::flows::ExperimentFlows;
+use crate::ingest::IngestStats;
 use crate::pii::{scan_experiment, PiiFinding};
+use iot_chaos::{stream_key, FaultInjector, FaultPlan};
 use iot_core::json::{Json, ToJson};
 use iot_entropy::EncryptionClass;
 use iot_geodb::party::PartyType;
 use iot_geodb::registry::GeoDb;
 use iot_obs::Registry;
+use iot_testbed::experiment::LabeledExperiment;
 use iot_testbed::lab::LabSite;
 use iot_testbed::schedule::{Campaign, CampaignConfig};
 use iot_testbed::traffic::{identity_of, DeviceIdentity};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+
+/// Message carried by chaos-injected ingest panics, so logs can tell a
+/// drill from a real defect.
+pub const INJECTED_PANIC_MSG: &str = "chaos: injected ingest panic";
+
+/// The fault key of one experiment: a digest of its identity tuple
+/// `(device, site, vpn, label, rep)` — the same tuple that makes
+/// experiments unique within a campaign. Crucially *not* a function of
+/// ingestion order, so serial and parallel drivers degrade every
+/// experiment identically.
+fn experiment_fault_key(exp: &LabeledExperiment) -> u64 {
+    stream_key(
+        exp.device_name,
+        stream_key(&exp.label, u64::from(exp.rep))
+            ^ ((exp.site as u64) << 32)
+            ^ ((exp.vpn as u64) << 40),
+    )
+}
 
 /// Aggregate report over one campaign run.
 #[derive(Debug)]
@@ -59,6 +98,8 @@ pub struct PipelineReport {
     pub encryption_mix: HashMap<String, [f64; 3]>,
     /// All plaintext PII findings, sorted by [`PiiFinding::sort_key`].
     pub pii_findings: Vec<PiiFinding>,
+    /// Ingest ledger: what was generated, salvaged, and quarantined.
+    pub ingest: IngestStats,
 }
 
 impl ToJson for PipelineReport {
@@ -84,6 +125,7 @@ impl ToJson for PipelineReport {
         }
         let mut j = Json::obj();
         j.set("experiments", self.experiments.to_json());
+        j.set("ingest", self.ingest.to_json());
         j.set("support_destinations", sorted_map(&self.support_destinations));
         j.set("third_destinations", sorted_map(&self.third_destinations));
         j.set(
@@ -107,6 +149,8 @@ struct PipelineShard {
     encryption: EncryptionAnalysis,
     pii: Vec<PiiFinding>,
     experiments: u64,
+    /// Ingest ledger; folds with the rest of the shard.
+    ingest: IngestStats,
     /// Shard-local metrics; folds with the rest of the shard.
     obs: Registry,
 }
@@ -118,6 +162,7 @@ impl PipelineShard {
             encryption: EncryptionAnalysis::default(),
             pii: Vec::new(),
             experiments: 0,
+            ingest: IngestStats::default(),
             obs: Registry::with_enabled(obs_enabled),
         }
     }
@@ -126,38 +171,166 @@ impl PipelineShard {
         &mut self,
         db: &GeoDb,
         identities: &HashMap<(&'static str, LabSite), DeviceIdentity>,
-        exp: iot_testbed::experiment::LabeledExperiment,
+        fault: Option<&FaultInjector>,
+        mut exp: LabeledExperiment,
     ) {
-        let _ingest = self.obs.span("ingest");
-        self.obs.add("experiments", 1);
-        self.obs.add("packets", exp.packets.len() as u64);
-        self.obs.observe("experiment_packets", exp.packets.len() as u64);
-        let flows = {
-            let _s = self.obs.span("flows");
-            ExperimentFlows::from_experiment(&exp)
-        };
-        self.obs.add("flows", flows.flows.len() as u64);
-        self.obs.add("bytes", flows.total_bytes());
-        if self.obs.enabled() {
-            for lf in &flows.flows {
-                self.obs.observe("flow_bytes", lf.flow.total_bytes());
+        // Split the borrow: the span guard pins `obs` (shared) for the
+        // whole ingest while the quarantine closure below captures the
+        // other fields mutably.
+        let PipelineShard {
+            destinations,
+            encryption,
+            pii,
+            experiments,
+            ingest,
+            obs,
+        } = self;
+        let _ingest_span = obs.span("ingest");
+        ingest.packets_generated += exp.packets.len() as u64;
+        let mut inject_panic = false;
+        if let Some(inj) = fault {
+            let key = experiment_fault_key(&exp);
+            inject_panic = inj.should_panic(key);
+            degrade_capture(inj, key, &mut exp, ingest, obs);
+        }
+        let salvaged = exp.packets.len() as u64;
+        // The quarantine boundary: a panic here — injected by the chaos
+        // plan or real — costs this one experiment, not the run. The
+        // injected panic fires before any accumulator or obs mutation,
+        // so quarantined experiments contribute exactly nothing and the
+        // report stays deterministic.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("{INJECTED_PANIC_MSG}");
+            }
+            analyze_experiment(db, identities, destinations, encryption, pii, ingest, obs, &exp);
+        }));
+        match outcome {
+            Ok(()) => {
+                ingest.packets_ingested += salvaged;
+                ingest.experiments_ingested += 1;
+                *experiments += 1;
+            }
+            Err(_) => {
+                ingest.packets_quarantined += salvaged;
+                ingest.experiments_quarantined += 1;
+                ingest.add_stage_error("ingest_panic");
             }
         }
-        {
-            let _s = self.obs.span("destinations");
-            self.destinations.add_flows(&exp, &flows);
+    }
+}
+
+/// Degrades one experiment's capture through the fault injector and
+/// re-reads it through the lenient salvage path, keeping the ledger
+/// exact: every generated packet ends up ingested, dropped, or lost.
+fn degrade_capture(
+    inj: &FaultInjector,
+    key: u64,
+    exp: &mut LabeledExperiment,
+    ledger: &mut IngestStats,
+    obs: &Registry,
+) {
+    let _s = obs.span("degrade");
+    let (bytes, fstats) = inj.degrade(key, std::mem::take(&mut exp.packets));
+    ledger.packets_dropped += fstats.packets_dropped;
+    ledger.packets_duplicated += fstats.packets_duplicated;
+    ledger.records_corrupted += fstats.headers_corrupted;
+    match iot_net::pcap::from_bytes_lenient(&bytes) {
+        Ok((packets, sstats)) => {
+            ledger.packets_lost += fstats.records_written - packets.len() as u64;
+            ledger.packets_truncated += sstats.records_truncated;
+            ledger.salvage_resyncs += sstats.resyncs;
+            ledger.salvage_bytes_skipped += sstats.bytes_skipped;
+            ledger.torn_tail_bytes += sstats.torn_tail_bytes;
+            if !sstats.is_pristine() {
+                ledger.add_stage_error("salvage");
+            }
+            exp.packets = packets;
         }
-        {
-            let _s = self.obs.span("encryption");
-            self.encryption.add_flows(&exp, &flows);
+        Err(_) => {
+            // Unreachable with our injector (the global header is never
+            // touched), but a capture nothing can be salvaged from is
+            // total loss, not a crash.
+            ledger.packets_lost += fstats.records_written;
+            ledger.add_stage_error("salvage");
         }
-        if let Some(identity) = identities.get(&(exp.device_name, exp.site)) {
-            let _s = self.obs.span("pii");
-            let found = scan_experiment(db, &exp, &flows, identity);
-            self.obs.add("pii_findings", found.len() as u64);
-            self.pii.extend(found);
+    }
+}
+
+/// The per-experiment analysis stages, operating on the shard's fields.
+/// A free function (not a `PipelineShard` method) so the quarantine
+/// closure can capture the fields disjointly from the live ingest span.
+#[allow(clippy::too_many_arguments)]
+fn analyze_experiment(
+    db: &GeoDb,
+    identities: &HashMap<(&'static str, LabSite), DeviceIdentity>,
+    destinations: &mut DestinationAnalysis,
+    encryption: &mut EncryptionAnalysis,
+    pii: &mut Vec<PiiFinding>,
+    ledger: &mut IngestStats,
+    obs: &Registry,
+    exp: &LabeledExperiment,
+) {
+    obs.add("experiments", 1);
+    obs.add("packets", exp.packets.len() as u64);
+    obs.observe("experiment_packets", exp.packets.len() as u64);
+    let flows = {
+        let _s = obs.span("flows");
+        ExperimentFlows::from_experiment(exp)
+    };
+    if flows.unparsed_packets > 0 {
+        // Frames salvage recovered but frame parsing rejected: still
+        // ingested, classified as unparseable rather than erroring out.
+        ledger.packets_unparseable += flows.unparsed_packets;
+        ledger.add_stage_error("flows_parse");
+    }
+    obs.add("flows", flows.flows.len() as u64);
+    obs.add("bytes", flows.total_bytes());
+    if obs.enabled() {
+        for lf in &flows.flows {
+            obs.observe("flow_bytes", lf.flow.total_bytes());
         }
-        self.experiments += 1;
+    }
+    {
+        let _s = obs.span("destinations");
+        destinations.add_flows(exp, &flows);
+    }
+    {
+        let _s = obs.span("encryption");
+        encryption.add_flows(exp, &flows);
+    }
+    if let Some(identity) = identities.get(&(exp.device_name, exp.site)) {
+        let _s = obs.span("pii");
+        let found = scan_experiment(db, exp, &flows, identity);
+        obs.add("pii_findings", found.len() as u64);
+        pii.extend(found);
+    }
+}
+
+/// Recovers from a worker thread's fate: a healthy shard passes through;
+/// a panicked worker (a defect that escaped the per-experiment
+/// quarantine) is replaced by an empty shard marked quarantined, so the
+/// run completes and the loss is visible in the report instead of
+/// crashing the driver.
+fn quarantine_result(
+    result: std::thread::Result<PipelineShard>,
+    shard_idx: usize,
+    obs_enabled: bool,
+) -> PipelineShard {
+    match result {
+        Ok(shard) => shard,
+        Err(payload) => {
+            let what = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("non-string panic payload");
+            eprintln!("pipeline: worker {shard_idx} panicked ({what}); shard quarantined");
+            let mut shard = PipelineShard::new(obs_enabled);
+            shard.ingest.shards_quarantined = 1;
+            shard.ingest.add_stage_error("worker_panic");
+            shard
+        }
     }
 }
 
@@ -171,7 +344,10 @@ pub struct Pipeline {
     pub encryption: EncryptionAnalysis,
     /// PII findings (RQ3).
     pub pii: Vec<PiiFinding>,
+    /// Ingest ledger across all shards (salvage + quarantine accounting).
+    pub ingest: IngestStats,
     experiments: u64,
+    fault: Option<FaultInjector>,
     obs: Registry,
 }
 
@@ -209,7 +385,9 @@ impl Pipeline {
             destinations: DestinationAnalysis::new(),
             encryption: EncryptionAnalysis::default(),
             pii: Vec::new(),
+            ingest: IngestStats::default(),
             experiments: 0,
+            fault: None,
             obs: Registry::with_enabled(obs_enabled),
         }
     }
@@ -219,10 +397,24 @@ impl Pipeline {
         &self.obs
     }
 
+    /// Arms the fault injector: every capture ingested from now on is
+    /// degraded per `plan` and re-read through the lenient salvage path.
+    /// Faults are keyed by experiment identity, so serial and parallel
+    /// runs of the same plan produce byte-identical reports.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultInjector::new(plan));
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(FaultInjector::plan)
+    }
+
     fn absorb(&mut self, shard: PipelineShard) {
         self.destinations.merge(shard.destinations);
         self.encryption.merge(shard.encryption);
         self.pii.extend(shard.pii);
+        self.ingest.merge(&shard.ingest);
         self.experiments += shard.experiments;
         self.obs.merge(shard.obs);
     }
@@ -238,10 +430,11 @@ impl Pipeline {
             campaign_identities(&campaign)
         };
         let mut shard = PipelineShard::new(self.obs.enabled());
+        let fault = self.fault;
         let start = Instant::now();
         {
-            let mut ingest = |exp: iot_testbed::experiment::LabeledExperiment| {
-                shard.ingest(&self.db, &identities, exp);
+            let mut ingest = |exp: LabeledExperiment| {
+                shard.ingest(&self.db, &identities, fault.as_ref(), exp);
             };
             campaign.run(&self.db, &mut ingest);
             campaign.run_idle(&self.db, &mut ingest);
@@ -277,6 +470,7 @@ impl Pipeline {
         // More workers than work units would leave idle threads behind.
         let workers = workers.min(campaign.unit_count().max(1));
         let obs_enabled = self.obs.enabled();
+        let fault = self.fault;
         let db = &self.db;
         let campaign_ref = &campaign;
         let identities_ref = &identities;
@@ -287,7 +481,7 @@ impl Pipeline {
                         let mut shard = PipelineShard::new(obs_enabled);
                         let start = Instant::now();
                         campaign_ref.run_shard(db, shard_idx, workers, |exp| {
-                            shard.ingest(db, identities_ref, exp);
+                            shard.ingest(db, identities_ref, fault.as_ref(), exp);
                         });
                         shard.obs.record_ns("shard", start.elapsed());
                         if obs_enabled {
@@ -300,9 +494,13 @@ impl Pipeline {
                     })
                 })
                 .collect();
+            // A worker that panicked despite the per-experiment
+            // quarantine becomes an empty quarantined shard — the run
+            // completes and the report says which shard was lost.
             handles
                 .into_iter()
-                .map(|h| h.join().expect("pipeline worker panicked"))
+                .enumerate()
+                .map(|(idx, h)| quarantine_result(h.join(), idx, obs_enabled))
                 .collect()
         });
         self.obs.set_gauge("workers", workers as f64);
@@ -326,7 +524,9 @@ impl Pipeline {
             destinations,
             encryption,
             pii,
+            ingest,
             experiments,
+            fault: _,
             obs,
         } = self;
         let start = Instant::now();
@@ -335,6 +535,34 @@ impl Pipeline {
             obs.add("bytes_unencrypted", mix.unencrypted);
             obs.add("bytes_encrypted", mix.encrypted);
             obs.add("bytes_unknown", mix.unknown);
+            // Mirror the ingest ledger as counters, nonzero values only:
+            // a clean run's metric report keeps exactly its pre-chaos
+            // counter set, while any degradation becomes visible to the
+            // same tooling that reads the rest of the metrics.
+            for (name, value) in [
+                ("ingest.packets_dropped", ingest.packets_dropped),
+                ("ingest.packets_duplicated", ingest.packets_duplicated),
+                ("ingest.packets_lost", ingest.packets_lost),
+                ("ingest.packets_quarantined", ingest.packets_quarantined),
+                ("ingest.packets_truncated", ingest.packets_truncated),
+                ("ingest.packets_unparseable", ingest.packets_unparseable),
+                ("ingest.records_corrupted", ingest.records_corrupted),
+                ("ingest.salvage_resyncs", ingest.salvage_resyncs),
+                ("ingest.salvage_bytes_skipped", ingest.salvage_bytes_skipped),
+                ("ingest.torn_tail_bytes", ingest.torn_tail_bytes),
+                (
+                    "ingest.experiments_quarantined",
+                    ingest.experiments_quarantined,
+                ),
+                ("ingest.shards_quarantined", ingest.shards_quarantined),
+            ] {
+                if value > 0 {
+                    obs.add(name, value);
+                }
+            }
+            for (stage, n) in &ingest.stage_errors {
+                obs.add(&format!("ingest.errors.{stage}"), *n);
+            }
         }
         let mut support_destinations = HashMap::new();
         let mut third_destinations = HashMap::new();
@@ -377,6 +605,7 @@ impl Pipeline {
             devices_with_non_first: destinations.devices_with_non_first_party(),
             encryption_mix,
             pii_findings,
+            ingest,
         };
         obs.record_ns("finish", start.elapsed());
         (report, obs)
@@ -426,5 +655,100 @@ mod tests {
             let parallel_json = parallel.finish().to_json().dump();
             assert_eq!(serial_json, parallel_json, "{workers} workers");
         }
+    }
+
+    fn tiny_config() -> CampaignConfig {
+        CampaignConfig {
+            automated_reps: 1,
+            manual_reps: 1,
+            power_reps: 1,
+            idle_hours: 0.02,
+            include_vpn: false,
+        }
+    }
+
+    #[test]
+    fn clean_run_ledger_is_clean_and_reconciles() {
+        let mut p = Pipeline::new();
+        p.run_campaign(tiny_config());
+        let report = p.finish();
+        assert!(report.ingest.is_clean(), "{:?}", report.ingest);
+        assert!(report.ingest.reconciles());
+        assert!(report.ingest.packets_generated > 0);
+        assert_eq!(report.ingest.experiments_ingested, report.experiments);
+        assert!(report.to_json().dump().contains("\"ingest\""));
+    }
+
+    #[test]
+    fn faulted_parallel_matches_faulted_serial() {
+        let plan = iot_chaos::FaultPlan::uniform(0xC0FFEE, 0.02);
+        let mut serial = Pipeline::new();
+        serial.set_fault_plan(plan);
+        serial.run_campaign(tiny_config());
+        let serial_report = serial.finish();
+        assert!(
+            !serial_report.ingest.is_clean(),
+            "a 2% fault plan must actually degrade something"
+        );
+        assert!(serial_report.ingest.reconciles(), "{:?}", serial_report.ingest);
+        let serial_json = serial_report.to_json().dump();
+        for workers in [2usize, 4] {
+            let mut parallel = Pipeline::new();
+            parallel.set_fault_plan(plan);
+            parallel.run_campaign_parallel(tiny_config(), workers);
+            let parallel_json = parallel.finish().to_json().dump();
+            assert_eq!(serial_json, parallel_json, "{workers} workers, faulted");
+        }
+    }
+
+    #[test]
+    fn injected_panics_quarantine_experiments_not_the_run() {
+        let plan = iot_chaos::FaultPlan {
+            panic_rate: 0.2,
+            ..iot_chaos::FaultPlan::clean(0xBAD5EED)
+        };
+        let mut with_panics = Pipeline::new();
+        with_panics.set_fault_plan(plan);
+        with_panics.run_campaign(tiny_config());
+        let report = with_panics.finish();
+        let ingest = &report.ingest;
+        assert!(ingest.experiments_quarantined > 0, "{ingest:?}");
+        assert!(ingest.packets_quarantined > 0);
+        assert!(ingest.reconciles(), "{ingest:?}");
+        assert_eq!(ingest.stage_errors["ingest_panic"], ingest.experiments_quarantined);
+        assert_eq!(
+            report.experiments + ingest.experiments_quarantined,
+            ingest.experiments_ingested + ingest.experiments_quarantined,
+        );
+        // The survivors were still analyzed.
+        assert!(report.experiments > 0);
+        assert!(!report.pii_findings.is_empty());
+    }
+
+    #[test]
+    fn clean_fault_plan_leaves_report_unchanged() {
+        let mut plain = Pipeline::new();
+        plain.run_campaign(tiny_config());
+        let plain_json = plain.finish().to_json().dump();
+        let mut armed = Pipeline::new();
+        armed.set_fault_plan(iot_chaos::FaultPlan::clean(1234));
+        armed.run_campaign(tiny_config());
+        let armed_json = armed.finish().to_json().dump();
+        assert_eq!(
+            plain_json, armed_json,
+            "an all-zero-rate plan must be an exact identity"
+        );
+    }
+
+    #[test]
+    fn worker_panic_becomes_quarantined_shard() {
+        let panicked: std::thread::Result<PipelineShard> =
+            std::thread::spawn(|| panic!("synthetic worker death")).join();
+        let shard = quarantine_result(panicked, 3, false);
+        assert_eq!(shard.ingest.shards_quarantined, 1);
+        assert_eq!(shard.ingest.stage_errors["worker_panic"], 1);
+        assert_eq!(shard.experiments, 0);
+        let healthy = quarantine_result(Ok(PipelineShard::new(false)), 0, false);
+        assert_eq!(healthy.ingest.shards_quarantined, 0);
     }
 }

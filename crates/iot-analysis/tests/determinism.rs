@@ -23,7 +23,18 @@ fn test_config() -> CampaignConfig {
 }
 
 fn run(obs: bool, parallel_workers: Option<usize>) -> (String, Registry) {
+    run_with_plan(obs, parallel_workers, None)
+}
+
+fn run_with_plan(
+    obs: bool,
+    parallel_workers: Option<usize>,
+    plan: Option<iot_chaos::FaultPlan>,
+) -> (String, Registry) {
     let mut p = Pipeline::with_obs(obs);
+    if let Some(plan) = plan {
+        p.set_fault_plan(plan);
+    }
     match parallel_workers {
         None => p.run_campaign(test_config()),
         Some(w) => p.run_campaign_parallel(test_config(), w),
@@ -52,6 +63,28 @@ fn serial_and_parallel_reports_are_byte_identical() {
 #[test]
 fn repeated_serial_runs_are_byte_identical() {
     assert_eq!(report_json(None), report_json(None));
+}
+
+#[test]
+fn faulted_reports_are_byte_identical_across_drivers() {
+    // Fault injection is keyed by experiment identity, not ingestion
+    // order: the same plan must degrade the same campaign identically
+    // under every driver, panics included.
+    let plan = iot_chaos::FaultPlan {
+        panic_rate: 0.05,
+        ..iot_chaos::FaultPlan::uniform(0xD15EA5E, 0.02)
+    };
+    let (serial, _) = run_with_plan(false, None, Some(plan));
+    assert!(serial.contains("\"salvage_resyncs\""));
+    for workers in [1usize, 2, 8] {
+        let (parallel, _) = run_with_plan(false, Some(workers), Some(plan));
+        assert_eq!(
+            serial, parallel,
+            "faulted report with {workers} workers diverged from serial"
+        );
+    }
+    let (again, _) = run_with_plan(false, None, Some(plan));
+    assert_eq!(serial, again, "faulted serial runs must repeat exactly");
 }
 
 #[test]

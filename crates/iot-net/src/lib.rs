@@ -13,7 +13,9 @@
 //! * [`packet`] — composed packets: build ([`packet::PacketBuilder`]) and
 //!   parse ([`packet::ParsedPacket`]) full frames.
 //! * [`pcap`] — classic libpcap capture-file reader/writer, so simulated
-//!   captures are byte-compatible with tcpdump output.
+//!   captures are byte-compatible with tcpdump output; a lenient salvage
+//!   mode ([`pcap::from_bytes_lenient`]) resynchronizes past corrupt
+//!   records and torn tails instead of aborting.
 //! * [`flow`] — 5-tuple flow keys and per-flow payload reassembly, the unit
 //!   of the paper's destination and encryption analyses.
 //!
@@ -42,7 +44,7 @@ pub use flow::{Direction, Flow, FlowKey, FlowTable};
 pub use ipv4::Ipv4Header;
 pub use mac::MacAddr;
 pub use packet::{Frame, Packet, PacketBuilder, ParsedPacket, TransportHeader};
-pub use pcap::{PcapReader, PcapRecord, PcapWriter};
+pub use pcap::{PcapReader, PcapRecord, PcapWriter, SalvageStats};
 pub use tcp::{TcpFlags, TcpHeader};
 pub use udp::UdpHeader;
 

@@ -68,16 +68,30 @@ impl<W: Write> PcapWriter<W> {
 
     /// Appends one packet.
     pub fn write_packet(&mut self, pkt: &Packet) -> Result<()> {
-        let ts_sec = (pkt.ts_micros / 1_000_000) as u32;
-        let ts_usec = (pkt.ts_micros % 1_000_000) as u32;
         let len = pkt.data.len() as u32;
-        let mut rec = [0u8; RECORD_HEADER_LEN];
-        rec[0..4].copy_from_slice(&ts_sec.to_le_bytes());
-        rec[4..8].copy_from_slice(&ts_usec.to_le_bytes());
-        rec[8..12].copy_from_slice(&len.to_le_bytes());
-        rec[12..16].copy_from_slice(&len.to_le_bytes());
-        self.inner.write_all(&rec)?;
-        self.inner.write_all(&pkt.data)?;
+        self.write_raw(
+            (pkt.ts_micros / 1_000_000) as u32,
+            (pkt.ts_micros % 1_000_000) as u32,
+            len,
+            &pkt.data,
+        )
+    }
+
+    /// Appends one record verbatim, preserving an `orig_len` larger than
+    /// the captured data — how tcpdump writes snaplen-truncated records.
+    pub fn write_record(&mut self, rec: &PcapRecord) -> Result<()> {
+        self.write_raw(rec.ts_sec, rec.ts_usec, rec.orig_len, &rec.data)
+    }
+
+    fn write_raw(&mut self, ts_sec: u32, ts_usec: u32, orig_len: u32, data: &[u8]) -> Result<()> {
+        let incl_len = data.len() as u32;
+        let mut hdr = [0u8; RECORD_HEADER_LEN];
+        hdr[0..4].copy_from_slice(&ts_sec.to_le_bytes());
+        hdr[4..8].copy_from_slice(&ts_usec.to_le_bytes());
+        hdr[8..12].copy_from_slice(&incl_len.to_le_bytes());
+        hdr[12..16].copy_from_slice(&orig_len.max(incl_len).to_le_bytes());
+        self.inner.write_all(&hdr)?;
+        self.inner.write_all(data)?;
         Ok(())
     }
 
@@ -128,8 +142,22 @@ impl<R: Read> PcapReader<R> {
         let ts_usec = self.read_u32([rec[4], rec[5], rec[6], rec[7]]);
         let incl_len = self.read_u32([rec[8], rec[9], rec[10], rec[11]]);
         let orig_len = self.read_u32([rec[12], rec[13], rec[14], rec[15]]);
-        let mut data = vec![0u8; incl_len as usize];
-        self.inner.read_exact(&mut data)?;
+        // Read via `take` + `read_to_end` so a corrupt incl_len (e.g.
+        // 0xfffffff0 from a garbled header) hits EOF instead of trying to
+        // allocate gigabytes up front.
+        let mut data = Vec::new();
+        (&mut self.inner)
+            .take(u64::from(incl_len))
+            .read_to_end(&mut data)?;
+        if data.len() < incl_len as usize {
+            return Err(Error::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!(
+                    "pcap record claims {incl_len} bytes but only {} remain",
+                    data.len()
+                ),
+            )));
+        }
         Ok(Some(PcapRecord {
             ts_sec,
             ts_usec,
@@ -146,6 +174,167 @@ impl<R: Read> PcapReader<R> {
         }
         Ok(out)
     }
+
+    /// Collects all salvageable records as [`Packet`]s, resynchronizing
+    /// past corrupt record headers and torn tails instead of aborting.
+    ///
+    /// The strict [`PcapReader::packets`] has all-or-nothing semantics:
+    /// one garbled `incl_len` discards an entire device capture. This
+    /// reader buffers the remaining bytes and walks them with
+    /// [`salvage_records`], so a single bad record costs only the bytes
+    /// between it and the next plausible record header.
+    pub fn packets_lenient(mut self) -> Result<(Vec<Packet>, SalvageStats)> {
+        let mut buf = Vec::new();
+        self.inner.read_to_end(&mut buf)?;
+        let (records, stats) = salvage_records(&buf, self.swapped);
+        Ok((
+            records.into_iter().map(PcapRecord::into_packet).collect(),
+            stats,
+        ))
+    }
+}
+
+/// What the lenient reader recovered — and what it had to give up — from
+/// one degraded capture. Counts merge by addition across captures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SalvageStats {
+    /// Records recovered intact.
+    pub records_ok: u64,
+    /// Recovered records with `incl_len < orig_len` (snaplen truncation);
+    /// these are also counted in [`SalvageStats::records_ok`].
+    pub records_truncated: u64,
+    /// Resynchronization events: positions where no plausible record
+    /// header was found and the reader had to scan forward.
+    pub resyncs: u64,
+    /// Bytes discarded while scanning for the next plausible header.
+    pub bytes_skipped: u64,
+    /// Bytes lost to a torn tail (a final record cut off mid-data, or a
+    /// trailing fragment shorter than a record header).
+    pub torn_tail_bytes: u64,
+}
+
+impl SalvageStats {
+    /// Folds another capture's salvage outcome into this one.
+    pub fn merge(&mut self, other: &SalvageStats) {
+        self.records_ok += other.records_ok;
+        self.records_truncated += other.records_truncated;
+        self.resyncs += other.resyncs;
+        self.bytes_skipped += other.bytes_skipped;
+        self.torn_tail_bytes += other.torn_tail_bytes;
+    }
+
+    /// True when the capture was recovered without losing anything.
+    pub fn is_pristine(&self) -> bool {
+        self.resyncs == 0 && self.bytes_skipped == 0 && self.torn_tail_bytes == 0
+    }
+}
+
+/// Largest `incl_len`/`orig_len` a record header may claim and still be
+/// considered plausible during resynchronization. Generous against the
+/// 65535 snaplen the writer declares, but small enough that a random
+/// 32-bit value is implausible with probability ≈ 0.99994.
+const MAX_PLAUSIBLE_LEN: u32 = 256 * 1024;
+
+/// Smallest `incl_len` a plausible record may claim: an Ethernet header.
+/// Real captures never contain shorter frames, and requiring it prunes
+/// most false resynchronization targets inside payload bytes.
+const MIN_PLAUSIBLE_LEN: u32 = 14;
+
+/// How the bytes at one position read as a record header.
+enum HeaderVerdict {
+    /// Sane header whose data fits: `(ts_sec, ts_usec, incl, orig)`.
+    Record(u32, u32, u32, u32),
+    /// Sane header but the data runs past EOF — a torn tail.
+    Torn,
+    /// Not a believable record header.
+    Corrupt,
+}
+
+/// Classifies the candidate record header at `buf[at..]`. Plausibility
+/// requires sub-second microseconds, frame lengths between an Ethernet
+/// header and [`MAX_PLAUSIBLE_LEN`], and `orig_len >= incl_len` (the
+/// writer guarantees it; tcpdump's snaplen semantics imply it).
+fn classify_header(buf: &[u8], at: usize, swapped: bool) -> HeaderVerdict {
+    if at + RECORD_HEADER_LEN > buf.len() {
+        return HeaderVerdict::Corrupt;
+    }
+    let field = |o: usize| {
+        let b = [buf[at + o], buf[at + o + 1], buf[at + o + 2], buf[at + o + 3]];
+        if swapped {
+            u32::from_be_bytes(b)
+        } else {
+            u32::from_le_bytes(b)
+        }
+    };
+    let (ts_sec, ts_usec, incl_len, orig_len) = (field(0), field(4), field(8), field(12));
+    let sane = ts_usec < 1_000_000
+        && (MIN_PLAUSIBLE_LEN..=MAX_PLAUSIBLE_LEN).contains(&incl_len)
+        && orig_len >= incl_len
+        && orig_len <= MAX_PLAUSIBLE_LEN;
+    if !sane {
+        return HeaderVerdict::Corrupt;
+    }
+    if at + RECORD_HEADER_LEN + incl_len as usize > buf.len() {
+        return HeaderVerdict::Torn;
+    }
+    HeaderVerdict::Record(ts_sec, ts_usec, incl_len, orig_len)
+}
+
+/// Walks a record region (everything after the global header), salvaging
+/// each plausible record and scanning byte-by-byte past corruption.
+fn salvage_records(buf: &[u8], swapped: bool) -> (Vec<PcapRecord>, SalvageStats) {
+    let mut out = Vec::new();
+    let mut stats = SalvageStats::default();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        if buf.len() - pos < RECORD_HEADER_LEN {
+            // Trailing fragment too short to even hold a header.
+            stats.torn_tail_bytes += (buf.len() - pos) as u64;
+            break;
+        }
+        match classify_header(buf, pos, swapped) {
+            HeaderVerdict::Record(ts_sec, ts_usec, incl_len, orig_len) => {
+                let start = pos + RECORD_HEADER_LEN;
+                out.push(PcapRecord {
+                    ts_sec,
+                    ts_usec,
+                    orig_len,
+                    data: buf[start..start + incl_len as usize].to_vec(),
+                });
+                stats.records_ok += 1;
+                if incl_len < orig_len {
+                    stats.records_truncated += 1;
+                }
+                pos = start + incl_len as usize;
+            }
+            HeaderVerdict::Torn => {
+                // Header is sane but the data runs past EOF: torn tail.
+                stats.torn_tail_bytes += (buf.len() - pos) as u64;
+                break;
+            }
+            HeaderVerdict::Corrupt => {
+                // Corrupt header: scan forward for the next plausible one.
+                stats.resyncs += 1;
+                let scan_from = pos;
+                pos += 1;
+                // Only a *complete* record re-anchors the framing: a
+                // torn-looking candidate mid-payload would end salvage
+                // early and lose every intact record after it.
+                while pos + RECORD_HEADER_LEN <= buf.len()
+                    && !matches!(classify_header(buf, pos, swapped), HeaderVerdict::Record(..))
+                {
+                    pos += 1;
+                }
+                if pos + RECORD_HEADER_LEN > buf.len() {
+                    // Nothing plausible before EOF: everything left is lost.
+                    stats.bytes_skipped += (buf.len() - scan_from) as u64;
+                    break;
+                }
+                stats.bytes_skipped += (pos - scan_from) as u64;
+            }
+        }
+    }
+    (out, stats)
 }
 
 /// Serializes packets to an in-memory pcap byte buffer.
@@ -160,6 +349,14 @@ pub fn to_bytes(packets: &[Packet]) -> Result<Vec<u8>> {
 /// Parses packets from an in-memory pcap byte buffer.
 pub fn from_bytes(bytes: &[u8]) -> Result<Vec<Packet>> {
     PcapReader::new(bytes)?.packets()
+}
+
+/// Parses as many packets as can be salvaged from a possibly-degraded
+/// in-memory pcap buffer. Still fails on an unreadable global header
+/// (wrong magic / shorter than 24 bytes): with no known endianness there
+/// is no framing to resynchronize to.
+pub fn from_bytes_lenient(bytes: &[u8]) -> Result<(Vec<Packet>, SalvageStats)> {
+    PcapReader::new(bytes)?.packets_lenient()
 }
 
 #[cfg(test)]
@@ -237,6 +434,105 @@ mod tests {
         let bytes = to_bytes(&packets).unwrap();
         let cut = &bytes[..bytes.len() - 3];
         assert!(matches!(from_bytes(cut), Err(Error::Io(_))));
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let packets = sample_packets();
+        let bytes = to_bytes(&packets).unwrap();
+        let (back, stats) = from_bytes_lenient(&bytes).unwrap();
+        assert_eq!(back, packets);
+        assert!(stats.is_pristine());
+        assert_eq!(stats.records_ok, packets.len() as u64);
+        assert_eq!(stats.records_truncated, 0);
+    }
+
+    #[test]
+    fn lenient_resyncs_past_corrupt_record_header() {
+        let packets = sample_packets();
+        let mut bytes = to_bytes(&packets).unwrap();
+        // Garble the second record's incl_len to an absurd value.
+        let second = GLOBAL_HEADER_LEN + RECORD_HEADER_LEN + packets[0].data.len();
+        bytes[second + 8..second + 12].copy_from_slice(&0xfeed_beefu32.to_le_bytes());
+        assert!(from_bytes(&bytes).is_err(), "strict mode must still abort");
+        let (back, stats) = from_bytes_lenient(&bytes).unwrap();
+        // First and third packets survive; the corrupted one is skipped.
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], packets[0]);
+        assert_eq!(back[1], packets[2]);
+        assert_eq!(stats.resyncs, 1);
+        assert!(stats.bytes_skipped > 0);
+    }
+
+    #[test]
+    fn lenient_salvages_before_torn_tail() {
+        let packets = sample_packets();
+        let bytes = to_bytes(&packets).unwrap();
+        // Tear mid-way through the last record's data.
+        let cut = &bytes[..bytes.len() - 2];
+        let (back, stats) = from_bytes_lenient(cut).unwrap();
+        assert_eq!(back.len(), packets.len() - 1);
+        assert_eq!(back, packets[..2]);
+        assert!(stats.torn_tail_bytes > 0);
+    }
+
+    #[test]
+    fn lenient_preserves_snaplen_truncated_records() {
+        let packets = sample_packets();
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for p in &packets {
+            w.write_record(&PcapRecord {
+                ts_sec: (p.ts_micros / 1_000_000) as u32,
+                ts_usec: (p.ts_micros % 1_000_000) as u32,
+                orig_len: p.data.len() as u32 + 40, // snaplen cut 40 bytes
+                data: p.data.clone(),
+            })
+            .unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let (back, stats) = from_bytes_lenient(&bytes).unwrap();
+        assert_eq!(back.len(), packets.len());
+        assert_eq!(stats.records_truncated, packets.len() as u64);
+        assert!(stats.is_pristine());
+    }
+
+    #[test]
+    fn lenient_survives_random_garbage_between_records() {
+        let packets = sample_packets();
+        let clean = to_bytes(&packets).unwrap();
+        // Splice 100 bytes of high-valued garbage between records 1 and 2.
+        let splice_at = GLOBAL_HEADER_LEN + RECORD_HEADER_LEN + packets[0].data.len();
+        let mut bytes = clean[..splice_at].to_vec();
+        bytes.extend(std::iter::repeat(0xEEu8).take(100));
+        bytes.extend_from_slice(&clean[splice_at..]);
+        let (back, stats) = from_bytes_lenient(&bytes).unwrap();
+        assert!(back.len() >= 2, "salvaged {} records", back.len());
+        assert_eq!(*back.last().unwrap(), packets[2]);
+        assert!(stats.resyncs >= 1);
+        assert!(stats.bytes_skipped >= 100);
+    }
+
+    #[test]
+    fn lenient_empty_record_region_is_fine() {
+        let (back, stats) = from_bytes_lenient(&to_bytes(&[]).unwrap()).unwrap();
+        assert!(back.is_empty());
+        assert!(stats.is_pristine());
+    }
+
+    #[test]
+    fn lenient_still_rejects_bad_magic() {
+        let mut bytes = to_bytes(&sample_packets()).unwrap();
+        bytes[0] = 0x00;
+        assert!(matches!(from_bytes_lenient(&bytes), Err(Error::BadMagic(_))));
+    }
+
+    #[test]
+    fn strict_reader_does_not_overallocate_on_huge_incl_len() {
+        let mut bytes = to_bytes(&sample_packets()).unwrap();
+        bytes[GLOBAL_HEADER_LEN + 8..GLOBAL_HEADER_LEN + 12]
+            .copy_from_slice(&u32::MAX.to_le_bytes());
+        // Must error (EOF), not abort on a 4 GiB allocation.
+        assert!(from_bytes(&bytes).is_err());
     }
 
     #[test]

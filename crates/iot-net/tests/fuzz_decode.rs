@@ -1,0 +1,133 @@
+//! Seeded fuzz tests for frame and capture-file decoding: random bytes,
+//! truncated prefixes, and bit-flipped variants of valid encodings must
+//! never panic `Packet::parse`, `Packet::parse_frame`, or the pcap
+//! readers. The lenient reader additionally must uphold its salvage
+//! accounting (`records_ok` consistency) on arbitrary input.
+
+use iot_core::rng::StdRng;
+use iot_net::pcap::{from_bytes, from_bytes_lenient, PcapWriter};
+use iot_net::{MacAddr, Packet, PacketBuilder, TcpFlags};
+use std::net::Ipv4Addr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const CASES: usize = 96;
+
+fn random_bytes(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len);
+    let mut buf = vec![0u8; len];
+    rng.fill(&mut buf);
+    buf
+}
+
+/// A pair of valid frames (TCP and UDP) from the builder.
+fn valid_frames() -> Vec<Packet> {
+    let mut b = PacketBuilder::new(
+        MacAddr::new(0xa4, 0xcf, 0x12, 0x00, 0x00, 0x01),
+        MacAddr::new(0x00, 0x16, 0x3e, 0x00, 0x00, 0x02),
+        Ipv4Addr::new(192, 168, 10, 21),
+        Ipv4Addr::new(52, 84, 9, 9),
+    );
+    vec![
+        b.tcp(1_000_000, 49152, 443, 7, 0, TcpFlags::SYN, b"hello over tcp"),
+        b.udp(2_000_000, 50000, 53, b"dns-ish payload bytes"),
+    ]
+}
+
+fn assert_no_panic(what: &str, case: usize, f: impl FnOnce()) {
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    assert!(outcome.is_ok(), "{what}: case {case} panicked");
+}
+
+#[test]
+fn frame_parse_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xF4A3E);
+    for case in 0..CASES {
+        let pkt = Packet::new(case as u64, random_bytes(&mut rng, 200));
+        assert_no_panic("packet.parse/random", case, || {
+            let _ = pkt.parse();
+            let _ = pkt.parse_frame();
+        });
+    }
+    for (v, frame) in valid_frames().into_iter().enumerate() {
+        // Every truncated prefix — exactly what snaplen capture produces.
+        for cut in 0..frame.data.len() {
+            let pkt = Packet::new(0, frame.data[..cut].to_vec());
+            assert_no_panic("packet.parse/truncated", v * 1000 + cut, || {
+                let _ = pkt.parse();
+                let _ = pkt.parse_frame();
+            });
+        }
+        // Single-bit corruption across the whole frame.
+        let mut flip_rng = StdRng::seed_from_u64(0xF4A3E ^ v as u64);
+        for case in 0..CASES {
+            let mut data = frame.data.clone();
+            let bit = flip_rng.gen_range(0..data.len() * 8);
+            data[bit / 8] ^= 1 << (bit % 8);
+            let pkt = Packet::new(0, data);
+            assert_no_panic("packet.parse/bitflip", case, || {
+                let _ = pkt.parse();
+                let _ = pkt.parse_frame();
+            });
+        }
+    }
+}
+
+#[test]
+fn pcap_readers_never_panic() {
+    // A valid two-record capture to truncate and corrupt.
+    let mut writer = PcapWriter::new(Vec::new()).expect("header");
+    for frame in valid_frames() {
+        writer.write_packet(&frame).expect("write");
+    }
+    let valid = writer.finish().expect("finish");
+
+    let mut rng = StdRng::seed_from_u64(0x9CA9);
+    for case in 0..CASES {
+        let buf = random_bytes(&mut rng, 800);
+        assert_no_panic("pcap/random", case, || {
+            let _ = from_bytes(&buf);
+            let _ = from_bytes_lenient(&buf);
+        });
+    }
+    for cut in 0..valid.len() {
+        assert_no_panic("pcap/truncated", cut, || {
+            let _ = from_bytes(&valid[..cut]);
+            let _ = from_bytes_lenient(&valid[..cut]);
+        });
+    }
+    let mut flip_rng = StdRng::seed_from_u64(0x9CA9 ^ 0xF11F);
+    for case in 0..CASES {
+        let mut buf = valid.clone();
+        let bit = flip_rng.gen_range(0..buf.len() * 8);
+        buf[bit / 8] ^= 1 << (bit % 8);
+        assert_no_panic("pcap/bitflip", case, || {
+            let _ = from_bytes(&buf);
+            let _ = from_bytes_lenient(&buf);
+        });
+    }
+}
+
+#[test]
+fn lenient_reader_accounting_holds_on_garbage() {
+    // On any input the lenient reader accepts, every salvaged packet must
+    // be a counted intact record, and resyncs imply skipped bytes.
+    let mut rng = StdRng::seed_from_u64(0x5A1A6E);
+    for case in 0..CASES {
+        let buf = random_bytes(&mut rng, 2048);
+        if let Ok((packets, stats)) = from_bytes_lenient(&buf) {
+            assert_eq!(
+                packets.len() as u64,
+                stats.records_ok,
+                "case {case}: salvaged {} packets but records_ok {}",
+                packets.len(),
+                stats.records_ok
+            );
+            if stats.resyncs > 0 {
+                assert!(
+                    stats.bytes_skipped > 0,
+                    "case {case}: resynced without skipping bytes"
+                );
+            }
+        }
+    }
+}

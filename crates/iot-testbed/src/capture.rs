@@ -18,7 +18,7 @@
 use crate::experiment::LabeledExperiment;
 use crate::lab::LabSite;
 use iot_net::packet::Packet;
-use iot_net::pcap::{PcapReader, PcapWriter};
+use iot_net::pcap::{PcapReader, PcapWriter, SalvageStats};
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -131,11 +131,19 @@ fn io_err(e: iot_net::Error) -> std::io::Error {
     std::io::Error::other(e.to_string())
 }
 
-/// Reads a device directory back into (packets, labels).
-pub fn read_device_dir(dir: &Path) -> std::io::Result<(Vec<Packet>, Vec<LabelSpan>)> {
+/// Reads a device directory back into (packets, labels, salvage stats).
+///
+/// The pcap is read through the lenient salvage path: a capture with a
+/// torn tail or corrupt record headers — routine for a tcpdump that ran
+/// unattended for months — yields every record that can still be framed
+/// instead of discarding the whole device directory. `stats.is_pristine()`
+/// tells callers whether anything was actually lost.
+pub fn read_device_dir(
+    dir: &Path,
+) -> std::io::Result<(Vec<Packet>, Vec<LabelSpan>, SalvageStats)> {
     let reader =
         PcapReader::new(BufReader::new(File::open(dir.join("capture.pcap"))?)).map_err(io_err)?;
-    let packets = reader.packets().map_err(io_err)?;
+    let (packets, stats) = reader.packets_lenient().map_err(io_err)?;
     let mut labels = Vec::new();
     let f = BufReader::new(File::open(dir.join("labels.tsv"))?);
     for line in f.lines() {
@@ -162,15 +170,50 @@ pub fn read_device_dir(dir: &Path) -> std::io::Result<(Vec<Packet>, Vec<LabelSpa
             rep,
         });
     }
-    Ok((packets, labels))
+    Ok((packets, labels, stats))
 }
 
 /// Slices a capture by a label span (inclusive bounds), the read-side
 /// counterpart of the testbed's label isolation.
+///
+/// Returns the contiguous hull of in-span packets: everything from the
+/// first to the last packet whose timestamp lies in the span. On a
+/// monotonic capture this is exactly the binary-search window the old
+/// implementation computed; on a degraded capture (fault-injected or
+/// real clock skew leaving timestamps non-monotonic, where binary
+/// search silently returns wrong — even inverted — bounds) the hull may
+/// also include out-of-span packets trapped between in-span ones, which
+/// is the right salvage semantics for a mildly skewed clock (use
+/// [`filter_by_label`] for an exact timestamp filter). Inverted or
+/// fully out-of-range spans yield an empty slice — never a panic. The
+/// scan is O(n): correctness on damaged inputs is worth more here than
+/// a logarithm in a read-side inspection path.
 pub fn slice_by_label<'a>(packets: &'a [Packet], span: &LabelSpan) -> &'a [Packet] {
-    let start = packets.partition_point(|p| p.ts_micros < span.start_micros);
-    let end = packets.partition_point(|p| p.ts_micros <= span.end_micros);
-    &packets[start..end]
+    if span.end_micros < span.start_micros || packets.is_empty() {
+        return &packets[..0];
+    }
+    let in_span =
+        |p: &Packet| p.ts_micros >= span.start_micros && p.ts_micros <= span.end_micros;
+    match packets.iter().position(in_span) {
+        Some(first) => {
+            let last = packets.iter().rposition(in_span).expect("position found one");
+            &packets[first..=last]
+        }
+        None => &packets[..0],
+    }
+}
+
+/// Exact timestamp filter: every packet whose timestamp lies in the span,
+/// regardless of capture order. The precise counterpart of
+/// [`slice_by_label`]'s contiguous hull for skewed captures.
+pub fn filter_by_label<'a>(packets: &'a [Packet], span: &LabelSpan) -> Vec<&'a Packet> {
+    if span.end_micros < span.start_micros {
+        return Vec::new();
+    }
+    packets
+        .iter()
+        .filter(|p| p.ts_micros >= span.start_micros && p.ts_micros <= span.end_micros)
+        .collect()
 }
 
 #[cfg(test)]
@@ -226,7 +269,8 @@ mod tests {
         assert_eq!(written.len(), 2, "pcap + labels for one device");
 
         let device_dir = dir.join("us").join("tp-link-plug");
-        let (packets, labels) = read_device_dir(&device_dir).unwrap();
+        let (packets, labels, salvage) = read_device_dir(&device_dir).unwrap();
+        assert!(salvage.is_pristine(), "{salvage:?}");
         assert_eq!(labels.len(), 3);
         // Each label slice contains exactly its experiment's packets.
         for (span, exp) in labels.iter().zip(&exps) {
@@ -250,5 +294,91 @@ mod tests {
             rep: 0,
         };
         assert!(slice_by_label(packets, &empty).is_empty());
+    }
+
+    fn span(start: u64, end: u64) -> LabelSpan {
+        LabelSpan {
+            start_micros: start,
+            end_micros: end,
+            label: "t".into(),
+            rep: 0,
+        }
+    }
+
+    fn pkts(ts: &[u64]) -> Vec<Packet> {
+        ts.iter().map(|&t| Packet::new(t, vec![0u8; 8])).collect()
+    }
+
+    #[test]
+    fn slice_tolerates_inverted_span() {
+        let packets = pkts(&[10, 20, 30]);
+        assert!(slice_by_label(&packets, &span(30, 10)).is_empty());
+        assert!(filter_by_label(&packets, &span(30, 10)).is_empty());
+    }
+
+    #[test]
+    fn slice_tolerates_skewed_timestamps() {
+        // A clock-skewed capture: packet 25 regressed behind 40. Binary
+        // search over this order is meaningless; the hull fallback must
+        // still find the in-span packets without panicking.
+        let packets = pkts(&[10, 40, 25, 50, 30, 90]);
+        let slice = slice_by_label(&packets, &span(20, 45));
+        assert!(!slice.is_empty());
+        assert_eq!(slice[0].ts_micros, 40);
+        assert_eq!(slice[slice.len() - 1].ts_micros, 30);
+        // Hull semantics: from first to last in-span packet, inclusive
+        // of the out-of-span 50 trapped between them.
+        assert_eq!(
+            slice.iter().map(|p| p.ts_micros).collect::<Vec<_>>(),
+            [40, 25, 50, 30]
+        );
+        // The exact filter excludes the trapped packet.
+        assert_eq!(
+            filter_by_label(&packets, &span(20, 45))
+                .iter()
+                .map(|p| p.ts_micros)
+                .collect::<Vec<_>>(),
+            [40, 25, 30]
+        );
+    }
+
+    #[test]
+    fn slice_finds_packets_binary_search_misses() {
+        // Sorted-looking prefix hides the in-span packet from binary
+        // search: partition_point lands on an empty window here.
+        let packets = pkts(&[100, 5, 200]);
+        let slice = slice_by_label(&packets, &span(4, 6));
+        assert_eq!(slice.len(), 1);
+        assert_eq!(slice[0].ts_micros, 5);
+    }
+
+    #[test]
+    fn slice_outside_range_is_empty_not_panic() {
+        let packets = pkts(&[10, 20, 30]);
+        assert!(slice_by_label(&packets, &span(0, 5)).is_empty());
+        assert!(slice_by_label(&packets, &span(31, 99)).is_empty());
+        assert!(slice_by_label(&[], &span(0, 5)).is_empty());
+        // Straddling spans clamp to the packets that exist.
+        assert_eq!(slice_by_label(&packets, &span(0, 15)).len(), 1);
+        assert_eq!(slice_by_label(&packets, &span(25, 99)).len(), 1);
+    }
+
+    #[test]
+    fn lenient_read_survives_torn_capture() {
+        let (store, _) = store_with_experiments();
+        let dir = std::env::temp_dir().join(format!("intl-iot-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        store.write_to(&dir).unwrap();
+        let device_dir = dir.join("us").join("tp-link-plug");
+        // Tear the capture mid-record, as a killed tcpdump would.
+        let pcap = device_dir.join("capture.pcap");
+        let bytes = std::fs::read(&pcap).unwrap();
+        std::fs::write(&pcap, &bytes[..bytes.len() - 7]).unwrap();
+        let (packets, labels, salvage) = read_device_dir(&device_dir).unwrap();
+        assert!(!salvage.is_pristine());
+        assert!(salvage.torn_tail_bytes > 0);
+        assert_eq!(labels.len(), 3, "labels are independent of the tear");
+        assert!(!packets.is_empty(), "everything before the tear survives");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -144,13 +144,19 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         .find(|s| s.id() == device_id)
         .ok_or_else(|| format!("unknown device id {device_id:?}"))?;
 
-    let (packets, labels) = read_device_dir(dir)?;
+    let (packets, labels, salvage) = read_device_dir(dir)?;
     println!(
         "{}: {} packets, {} labeled experiments\n",
         spec.name,
         packets.len(),
         labels.len()
     );
+    if !salvage.is_pristine() {
+        println!(
+            "warning: degraded capture — {} resyncs, {} bytes skipped, {} torn tail bytes\n",
+            salvage.resyncs, salvage.bytes_skipped, salvage.torn_tail_bytes
+        );
+    }
 
     let db = GeoDb::new();
     let lab = Lab::deploy(site);

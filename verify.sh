@@ -11,6 +11,11 @@
 # 3. obs_check: the observability smoke test — the run report must parse,
 #    its stage counters must be non-zero, and the measured
 #    instrumentation overhead must stay under 5%.
+# 4. chaos_check: the fault-injection smoke test — a seeded sweep of
+#    degraded-capture rates plus an injected-panic stage. Gates: no
+#    escaped panics, byte-identical faulted reports across worker
+#    counts, exact ingest-ledger reconciliation, and bounded headline
+#    drift at low fault rates.
 set -e
 cd "$(dirname "$0")"
 export CARGO_NET_OFFLINE=true
@@ -25,7 +30,7 @@ echo "=== workspace tests ==="
 cargo test -q --workspace
 
 echo "=== bench: serial vs parallel pipeline (quick scale, obs on) ==="
-cargo build --release -p iot-bench --bin bench_pipeline --bin obs_check
+cargo build --release -p iot-bench --bin bench_pipeline --bin obs_check --bin chaos_check
 # Write to scratch paths so routine verification never clobbers the
 # committed BENCH_pipeline.json baseline (regenerate that explicitly
 # with the bench binary's defaults). IOT_OBS=1 makes the run emit the
@@ -42,5 +47,10 @@ echo "=== obs smoke: run report + overhead gate ==="
   "${IOT_OBS_OUT:-target/obs_run.json}" \
   "${IOT_BENCH_OUT:-target/verify_bench.json}" \
   BENCH_pipeline.json
+
+echo "=== chaos smoke: fault-injection sweep + quarantine gates ==="
+IOT_SCALE=quick \
+  IOT_CHAOS_OUT="${IOT_CHAOS_OUT:-target/chaos_check.json}" \
+  ./target/release/chaos_check
 
 echo "verify.sh: OK"
