@@ -185,38 +185,46 @@ impl PipelineShard {
             ingest,
             obs,
         } = self;
-        let _ingest_span = obs.span("ingest");
-        ingest.packets_generated += exp.packets.len() as u64;
-        let mut inject_panic = false;
-        if let Some(inj) = fault {
-            let key = experiment_fault_key(&exp);
-            inject_panic = inj.should_panic(key);
-            degrade_capture(inj, key, &mut exp, ingest, obs);
+        // The experiment's identity digest doubles as the flight-recorder
+        // stream key: every event inside this scope is attributable to
+        // this experiment regardless of which worker ran it.
+        let key = experiment_fault_key(&exp);
+        obs.begin_stream(key);
+        {
+            let _ingest_span = obs.span("ingest");
+            ingest.packets_generated += exp.packets.len() as u64;
+            let mut inject_panic = false;
+            if let Some(inj) = fault {
+                inject_panic = inj.should_panic(key);
+                degrade_capture(inj, key, &mut exp, ingest, obs);
+            }
+            let salvaged = exp.packets.len() as u64;
+            // The quarantine boundary: a panic here — injected by the chaos
+            // plan or real — costs this one experiment, not the run. The
+            // injected panic fires before any accumulator or obs mutation,
+            // so quarantined experiments contribute exactly nothing and the
+            // report stays deterministic.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if inject_panic {
+                    panic!("{INJECTED_PANIC_MSG}");
+                }
+                analyze_experiment(db, identities, destinations, encryption, pii, ingest, obs, &exp);
+            }));
+            match outcome {
+                Ok(()) => {
+                    ingest.packets_ingested += salvaged;
+                    ingest.experiments_ingested += 1;
+                    *experiments += 1;
+                }
+                Err(_) => {
+                    ingest.packets_quarantined += salvaged;
+                    ingest.experiments_quarantined += 1;
+                    ingest.add_stage_error("ingest_panic");
+                    obs.mark("quarantine");
+                }
+            }
         }
-        let salvaged = exp.packets.len() as u64;
-        // The quarantine boundary: a panic here — injected by the chaos
-        // plan or real — costs this one experiment, not the run. The
-        // injected panic fires before any accumulator or obs mutation,
-        // so quarantined experiments contribute exactly nothing and the
-        // report stays deterministic.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if inject_panic {
-                panic!("{INJECTED_PANIC_MSG}");
-            }
-            analyze_experiment(db, identities, destinations, encryption, pii, ingest, obs, &exp);
-        }));
-        match outcome {
-            Ok(()) => {
-                ingest.packets_ingested += salvaged;
-                ingest.experiments_ingested += 1;
-                *experiments += 1;
-            }
-            Err(_) => {
-                ingest.packets_quarantined += salvaged;
-                ingest.experiments_quarantined += 1;
-                ingest.add_stage_error("ingest_panic");
-            }
-        }
+        obs.end_stream();
     }
 }
 
@@ -419,8 +427,27 @@ impl Pipeline {
         self.obs.merge(shard.obs);
     }
 
+    /// Renders and publishes the live-telemetry documents when an
+    /// `IOT_OBS_SERVE` server is running; no-op (no rendering, no locks)
+    /// otherwise. Called at shard-fold boundaries only, so the ingest hot
+    /// path never pays for a listener.
+    fn publish_live(obs: &Registry, experiments: u64, ingest: &IngestStats, phase: &str) {
+        if !iot_obs::serve::active() || !obs.enabled() {
+            return;
+        }
+        let metrics = iot_obs::prometheus(&obs.snapshot());
+        let trace =
+            iot_obs::chrome_trace(&obs.timeline(), iot_obs::TraceMode::Wall).dump();
+        let mut progress = Json::obj();
+        progress.set("phase", phase.to_json());
+        progress.set("experiments", experiments.to_json());
+        progress.set("ingest", ingest.to_json());
+        iot_obs::serve::publish(metrics, trace, progress.dump());
+    }
+
     /// Runs a full campaign (controlled + idle) through every analysis.
     pub fn run_campaign(&mut self, config: CampaignConfig) {
+        iot_obs::serve::maybe_start_from_env();
         let campaign = {
             let _s = self.obs.span("campaign_new");
             Campaign::new(config)
@@ -429,7 +456,11 @@ impl Pipeline {
             let _s = self.obs.span("identities");
             campaign_identities(&campaign)
         };
+        Self::publish_live(&self.obs, self.experiments, &self.ingest, "generated");
         let mut shard = PipelineShard::new(self.obs.enabled());
+        // Worker track 1 — track 0 is the driver registry. The serial
+        // shard is the same worker the parallel driver would call 1.
+        shard.obs.set_worker(1);
         let fault = self.fault;
         let start = Instant::now();
         {
@@ -447,6 +478,7 @@ impl Pipeline {
         }
         self.obs.set_gauge("workers", 1.0);
         self.absorb(shard);
+        Self::publish_live(&self.obs, self.experiments, &self.ingest, "folded");
     }
 
     /// Runs a full campaign with the (lab × device) grid sharded across
@@ -459,6 +491,7 @@ impl Pipeline {
     /// Panics if `workers` is zero.
     pub fn run_campaign_parallel(&mut self, config: CampaignConfig, workers: usize) {
         assert!(workers > 0, "workers must be positive");
+        iot_obs::serve::maybe_start_from_env();
         let campaign = {
             let _s = self.obs.span("campaign_new");
             Campaign::new(config)
@@ -467,6 +500,7 @@ impl Pipeline {
             let _s = self.obs.span("identities");
             campaign_identities(&campaign)
         };
+        Self::publish_live(&self.obs, self.experiments, &self.ingest, "generated");
         // More workers than work units would leave idle threads behind.
         let workers = workers.min(campaign.unit_count().max(1));
         let obs_enabled = self.obs.enabled();
@@ -479,6 +513,8 @@ impl Pipeline {
                 .map(|shard_idx| {
                     scope.spawn(move || {
                         let mut shard = PipelineShard::new(obs_enabled);
+                        // Worker tracks start at 1; 0 is the driver.
+                        shard.obs.set_worker(shard_idx as u32 + 1);
                         let start = Instant::now();
                         campaign_ref.run_shard(db, shard_idx, workers, |exp| {
                             shard.ingest(db, identities_ref, fault.as_ref(), exp);
@@ -506,7 +542,9 @@ impl Pipeline {
         self.obs.set_gauge("workers", workers as f64);
         for shard in shards {
             self.absorb(shard);
+            Self::publish_live(&self.obs, self.experiments, &self.ingest, "folding");
         }
+        Self::publish_live(&self.obs, self.experiments, &self.ingest, "folded");
     }
 
     /// Builds the aggregate report, discarding the metric registry.
@@ -608,6 +646,7 @@ impl Pipeline {
             ingest,
         };
         obs.record_ns("finish", start.elapsed());
+        Self::publish_live(&obs, report.experiments, &report.ingest, "finished");
         (report, obs)
     }
 }

@@ -26,14 +26,21 @@
 //!   hardware parallelism).
 //! * `IOT_BENCH_OUT` — output path (default `BENCH_pipeline.json`).
 //! * `IOT_OBS` / `IOT_OBS_OUT` — run-report emission (see `iot-obs`).
+//! * `IOT_OBS_TRACE_OUT` / `IOT_OBS_TRACE_DET_OUT` / `IOT_OBS_PROM_OUT`
+//!   — exporter artifact paths (default `target/obs_trace.json`,
+//!   `target/obs_trace_det.json`, `target/obs_metrics.prom`). The
+//!   deterministic trace is additionally required to be byte-identical
+//!   between the serial and parallel instrumented runs whenever no ring
+//!   overflow occurred.
 
 use iot_analysis::pipeline::Pipeline;
 use iot_bench::harness::bench;
 use iot_bench::{campaign_config, Scale};
 use iot_core::json::{Json, ToJson};
-use iot_obs::RunReport;
+use iot_obs::{chrome_trace, prometheus, RunReport, TraceMode};
 use iot_testbed::schedule::{Campaign, CampaignConfig};
 use std::io::Write;
+use std::path::PathBuf;
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -98,17 +105,96 @@ fn main() {
         eprintln!("bench_pipeline: FAIL — instrumented report diverged from baseline");
     }
 
+    // Flight-recorder determinism gate: the logical event timeline (the
+    // deterministic Chrome-trace view) must be byte-identical between an
+    // instrumented serial run and the instrumented parallel run above.
+    // Only enforceable when neither ring overflowed — an overwritten
+    // window is a different (worker-dependent) subset by construction.
+    let serial_obs_registry = {
+        let mut p = Pipeline::with_obs(true);
+        p.run_campaign(config);
+        p.finish_with_obs().1
+    };
+    let serial_timeline = serial_obs_registry.timeline();
+    let parallel_timeline = obs_registry.timeline();
+    let det_serial = chrome_trace(&serial_timeline, TraceMode::Deterministic).dump();
+    let det_parallel = chrome_trace(&parallel_timeline, TraceMode::Deterministic).dump();
+    let events_overwritten = serial_timeline.overwritten + parallel_timeline.overwritten;
+    let trace_det_identical = det_serial == det_parallel;
+    let trace_det_enforced = events_overwritten == 0;
+    if !trace_det_identical && trace_det_enforced {
+        eprintln!(
+            "bench_pipeline: FAIL — deterministic event trace diverged between \
+             serial and parallel runs"
+        );
+    } else if !trace_det_identical {
+        eprintln!(
+            "bench_pipeline: WARN — deterministic traces differ, but \
+             {events_overwritten} events were overwritten (raise IOT_OBS_EVENTS \
+             to enforce at this scale)"
+        );
+    }
+
+    // Exporter artifacts: the parallel run's wall-clock Chrome trace
+    // (Perfetto-loadable), its deterministic counterpart, and the
+    // Prometheus exposition of the folded registry.
+    let write_artifact = |env: &str, default: &str, contents: &str| {
+        let path = PathBuf::from(std::env::var(env).unwrap_or_else(|_| default.to_string()));
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        match std::fs::write(&path, contents) {
+            Ok(()) => iot_obs::progress!("bench_pipeline: wrote {}", path.display()),
+            Err(e) => eprintln!("bench_pipeline: write {} failed: {e}", path.display()),
+        }
+    };
+    write_artifact(
+        "IOT_OBS_TRACE_OUT",
+        "target/obs_trace.json",
+        &chrome_trace(&parallel_timeline, TraceMode::Wall).dump(),
+    );
+    write_artifact("IOT_OBS_TRACE_DET_OUT", "target/obs_trace_det.json", &det_parallel);
+    write_artifact(
+        "IOT_OBS_PROM_OUT",
+        "target/obs_metrics.prom",
+        &prometheus(&obs_registry.snapshot()),
+    );
+
     let serial = bench("pipeline_serial", warmup, iters, || {
         serial_report_json(config, false)
     });
     let parallel = bench("pipeline_parallel", warmup, iters, || {
         parallel_report_json(config, workers)
     });
-    let serial_obs = bench("pipeline_serial_obs", warmup, iters, || {
-        serial_report_json(config, true)
-    });
+    // Instrumentation overhead is measured on *interleaved* pairs: one
+    // obs-off run, then one obs-on run, per iteration. Back-to-back
+    // blocks would let slow drift on a busy machine (thermal, cache, a
+    // neighbor VM) land entirely on one side and bias the ratio; paired
+    // iterations put the drift on both sides equally.
+    let mut base_ms = Vec::with_capacity(iters);
+    let mut obs_ms = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = std::time::Instant::now();
+        std::hint::black_box(serial_report_json(config, false));
+        base_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = std::time::Instant::now();
+        std::hint::black_box(serial_report_json(config, true));
+        obs_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let serial_base = iot_bench::harness::BenchResult::new(
+        "pipeline_serial_paired".to_string(),
+        iters,
+        base_ms,
+    );
+    let serial_obs = iot_bench::harness::BenchResult::new(
+        "pipeline_serial_obs".to_string(),
+        iters,
+        obs_ms,
+    );
     let speedup = serial.median_ms() / parallel.median_ms();
-    let obs_overhead = serial_obs.median_ms() / serial.median_ms();
+    let obs_overhead = serial_obs.median_ms() / serial_base.median_ms();
 
     let mut out = Json::obj();
     out.set("benchmark", "pipeline_ingestion".to_json());
@@ -118,8 +204,15 @@ fn main() {
     out.set("hw_threads", hw_threads.to_json());
     out.set("reports_identical", identical.to_json());
     out.set("obs_report_identical", obs_identical.to_json());
+    out.set("trace_deterministic_identical", trace_det_identical.to_json());
+    out.set(
+        "events_recorded",
+        (parallel_timeline.events.len() as u64).to_json(),
+    );
+    out.set("events_overwritten", events_overwritten.to_json());
     out.set("serial", serial.to_json());
     out.set("parallel", parallel.to_json());
+    out.set("serial_obs_baseline", serial_base.to_json());
     out.set("serial_obs", serial_obs.to_json());
     out.set("speedup_median", speedup.to_json());
     out.set("obs_overhead_ratio", obs_overhead.to_json());
@@ -128,8 +221,10 @@ fn main() {
         "speedup_median = serial median / parallel median; expect ≥2x on 4+ \
          hardware threads, ~1x or slightly below on a single core (sharding \
          overhead without parallel hardware). obs_overhead_ratio = serial \
-         median with IOT_OBS instrumentation forced on / forced off; gated \
-         <1.05 by obs_check in verify.sh"
+         median with IOT_OBS instrumentation (spans + flight-recorder \
+         events) forced on / forced off, measured on interleaved pairs \
+         (serial_obs vs serial_obs_baseline); gated <1.05 by obs_check in \
+         verify.sh"
             .to_json(),
     );
 
@@ -157,7 +252,7 @@ fn main() {
         serial.median_ms(),
         parallel.median_ms()
     );
-    if !identical || !obs_identical {
+    if !identical || !obs_identical || (!trace_det_identical && trace_det_enforced) {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,74 @@
+//! Bench-trend gate, run by `verify.sh` after `bench_pipeline`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_trend <fresh_bench.json> <history.jsonl>
+//! ```
+//!
+//! Converts the fresh `bench_pipeline` output into a
+//! [`iot_bench::history::HistoryEntry`], gates it against the recorded
+//! trajectory (same host fingerprint / scale / workers only; >15% serial
+//! median regression fails — see `iot_bench::history`), and appends the
+//! entry to the history file regardless of verdict, so even a failing
+//! run leaves its trace in the trajectory.
+//!
+//! Exits non-zero on a regression (or unreadable input), so `verify.sh`
+//! can gate on it.
+
+use iot_bench::history::{self, HistoryEntry};
+use iot_core::json::Json;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn run(bench_path: &str, history_path: &str) -> Result<bool, String> {
+    let text =
+        std::fs::read_to_string(bench_path).map_err(|e| format!("{bench_path}: {e}"))?;
+    let bench = Json::parse(&text).map_err(|e| format!("{bench_path}: {e}"))?;
+    let fresh = HistoryEntry::from_bench_json(&bench)?;
+
+    let history_path = Path::new(history_path);
+    let history = history::load(history_path);
+    let verdict = history::trend_gate(&history, &fresh);
+    println!(
+        "bench_trend: {} prior entr{} ({} comparable) in {}",
+        history.len(),
+        if history.len() == 1 { "y" } else { "ies" },
+        verdict.baseline_runs,
+        history_path.display()
+    );
+    println!("bench_trend: {}", verdict.summary());
+
+    history::append(history_path, &fresh)
+        .map_err(|e| format!("{}: append failed: {e}", history_path.display()))?;
+    println!(
+        "bench_trend: appended entry (host {}, scale {}, {} worker(s))",
+        fresh.host, fresh.scale, fresh.workers
+    );
+    Ok(verdict.pass)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 2 {
+        eprintln!("usage: bench_trend <fresh_bench.json> <history.jsonl>");
+        return ExitCode::from(2);
+    }
+    match run(&args[0], &args[1]) {
+        Ok(true) => {
+            println!("bench_trend: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!(
+                "bench_trend: FAIL — median regression beyond {}x",
+                history::MAX_REGRESSION_RATIO
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_trend: FAIL — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

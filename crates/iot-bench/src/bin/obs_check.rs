@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! obs_check <obs_run.json> <fresh_bench.json> [committed_bench.json]
+//! obs_check <obs_run.json> <fresh_bench.json> [committed_bench.json] \
+//!           [obs_trace.json] [obs_metrics.prom]
 //! ```
 //!
 //! Asserts that the run report written by an `IOT_OBS=1` bench run is
@@ -21,6 +22,14 @@
 //! The optional third argument is the committed benchmark trajectory;
 //! its comparison is warn-only because absolute times from a different
 //! machine say nothing reliable about this one.
+//!
+//! The optional fourth/fifth arguments are the exporter artifacts
+//! written by `bench_pipeline`; when given, the Chrome trace must parse
+//! through the in-tree JSON parser with a non-empty per-worker
+//! `traceEvents` array, the Prometheus exposition must carry `# TYPE`
+//! lines and histogram `_bucket`/`_sum`/`_count` series, the run report
+//! must have recorded flight-recorder events, and the benchmark's
+//! `trace_deterministic_identical` gate must have held.
 //!
 //! Exits non-zero on any hard failure, so `verify.sh` can gate on it.
 
@@ -50,7 +59,87 @@ fn median_ms(bench: &Json, section: &str) -> Option<f64> {
     bench.get(section)?.get("median_ms")?.as_f64()
 }
 
-fn check(obs_path: &str, bench_path: &str, committed_path: Option<&str>) -> Result<(), String> {
+/// Exporter-artifact assertions (folded-in `obs_export_check`): the
+/// Chrome trace and Prometheus exposition written by `bench_pipeline`
+/// must be well-formed, and the run must actually have recorded events.
+fn check_exports(
+    report: &Json,
+    bench: &Json,
+    trace_path: &str,
+    prom_path: &str,
+) -> Result<(), String> {
+    let events_recorded = report
+        .get("events")
+        .and_then(|e| e.get("recorded"))
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "obs report: no events.recorded field".to_string())?;
+    if events_recorded == 0 {
+        return Err("obs report: zero flight-recorder events recorded".to_string());
+    }
+    println!("obs_check: {events_recorded} flight-recorder events");
+
+    if !bench
+        .get("trace_deterministic_identical")
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+    {
+        // Only an overflowed ring excuses divergence; bench_pipeline
+        // already exits non-zero otherwise, but belt and braces here.
+        let overwritten = bench
+            .get("events_overwritten")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if overwritten == 0 {
+            return Err("bench: deterministic trace diverged across drivers".to_string());
+        }
+        println!(
+            "obs_check: deterministic-trace gate skipped ({overwritten} events overwritten)"
+        );
+    }
+
+    let trace = load(trace_path)?;
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::items)
+        .ok_or_else(|| format!("{trace_path}: no traceEvents array"))?;
+    if events.is_empty() {
+        return Err(format!("{trace_path}: traceEvents is empty"));
+    }
+    let tracks: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+        .collect();
+    if tracks.is_empty() {
+        return Err(format!("{trace_path}: events carry no tid tracks"));
+    }
+    println!(
+        "obs_check: trace has {} events on {} worker track(s)",
+        events.len(),
+        tracks.len()
+    );
+
+    let prom = std::fs::read_to_string(prom_path).map_err(|e| format!("{prom_path}: {e}"))?;
+    for needle in [
+        "# TYPE iot_experiments_total counter",
+        "# TYPE iot_span_duration_ns histogram",
+        "_bucket{",
+        "_sum ",
+        "_count ",
+    ] {
+        if !prom.contains(needle) {
+            return Err(format!("{prom_path}: missing {needle:?}"));
+        }
+    }
+    println!("obs_check: prometheus exposition OK ({} bytes)", prom.len());
+    Ok(())
+}
+
+fn check(
+    obs_path: &str,
+    bench_path: &str,
+    committed_path: Option<&str>,
+    export_paths: Option<(&str, &str)>,
+) -> Result<(), String> {
     let report = load(obs_path)?;
     let bench = load(bench_path)?;
 
@@ -98,7 +187,11 @@ fn check(obs_path: &str, bench_path: &str, committed_path: Option<&str>) -> Resu
         .get("obs_overhead_ratio")
         .and_then(Json::as_f64)
         .ok_or_else(|| format!("{bench_path}: no obs_overhead_ratio"))?;
-    let base = median_ms(&bench, "serial")
+    // Newer bench outputs measure overhead on interleaved pairs and
+    // report the paired baseline separately; older ones only have the
+    // block-measured serial section.
+    let base = median_ms(&bench, "serial_obs_baseline")
+        .or_else(|| median_ms(&bench, "serial"))
         .ok_or_else(|| format!("{bench_path}: no serial median"))?;
     let obs = median_ms(&bench, "serial_obs")
         .ok_or_else(|| format!("{bench_path}: no serial_obs median"))?;
@@ -140,16 +233,28 @@ fn check(obs_path: &str, bench_path: &str, committed_path: Option<&str>) -> Resu
             Err(e) => println!("obs_check: committed baseline unreadable ({e}); skipping"),
         }
     }
+
+    // Exporter artifacts, when bench_pipeline wrote them.
+    if let Some((trace_path, prom_path)) = export_paths {
+        check_exports(&report, &bench, trace_path, prom_path)?;
+    }
     Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
-        eprintln!("usage: obs_check <obs_run.json> <fresh_bench.json> [committed_bench.json]");
+        eprintln!(
+            "usage: obs_check <obs_run.json> <fresh_bench.json> \
+             [committed_bench.json] [obs_trace.json] [obs_metrics.prom]"
+        );
         return ExitCode::FAILURE;
     }
-    match check(&args[0], &args[1], args.get(2).map(String::as_str)) {
+    let export_paths = match (args.get(3), args.get(4)) {
+        (Some(t), Some(p)) => Some((t.as_str(), p.as_str())),
+        _ => None,
+    };
+    match check(&args[0], &args[1], args.get(2).map(String::as_str), export_paths) {
         Ok(()) => {
             println!("obs_check: OK");
             ExitCode::SUCCESS

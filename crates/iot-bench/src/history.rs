@@ -1,0 +1,352 @@
+//! Bench-history trajectory: append-only JSONL of `bench_pipeline` runs.
+//!
+//! `BENCH_pipeline.json` is a frozen snapshot — one run, no memory. This
+//! module gives the benchmark a trajectory: every run appends one line to
+//! `BENCH_history.jsonl` (a [`HistoryEntry`]: host fingerprint, scale,
+//! workers, serial/parallel median and p95), and [`trend_gate`] compares
+//! a fresh run against the recorded history so a PR that regresses the
+//! pipeline median by more than 15% fails `verify.sh` instead of slipping
+//! through as "numbers look different, machines differ".
+//!
+//! ## Comparability
+//!
+//! Absolute times from different machines say nothing about each other,
+//! so the gate is **hard only against entries with the same host
+//! fingerprint, scale, and worker count**; with no comparable history the
+//! verdict passes and merely seeds the trajectory. The fingerprint is
+//! `hostname/<hw-threads>t` — coarse on purpose: it distinguishes "same
+//! box" from "someone else's laptop" without trying to fingerprint
+//! microarchitecture.
+
+use iot_core::json::{Json, ToJson};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Hard ceiling on fresh-median / baseline-median before the gate fails.
+pub const MAX_REGRESSION_RATIO: f64 = 1.15;
+
+/// Absolute slack: regressions above the ratio still pass when the
+/// median delta is below this, so timer jitter on very fast grids cannot
+/// flake the gate (mirrors `obs_check`'s tolerance).
+pub const ABS_TOLERANCE_MS: f64 = 75.0;
+
+/// How many most-recent comparable entries form the baseline window.
+pub const BASELINE_WINDOW: usize = 8;
+
+/// One recorded benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Seconds since the Unix epoch at record time.
+    pub unix_secs: u64,
+    /// `hostname/<hw-threads>t` — see [`host_fingerprint`].
+    pub host: String,
+    /// Campaign scale (`quick` / `medium` / `full`).
+    pub scale: String,
+    /// Parallel worker count the run used.
+    pub workers: u64,
+    /// Serial driver median, milliseconds.
+    pub serial_median_ms: f64,
+    /// Serial driver p95, milliseconds.
+    pub serial_p95_ms: f64,
+    /// Parallel driver median, milliseconds.
+    pub parallel_median_ms: f64,
+    /// Parallel driver p95, milliseconds.
+    pub parallel_p95_ms: f64,
+    /// Instrumented-over-baseline serial median ratio.
+    pub obs_overhead_ratio: f64,
+}
+
+/// This machine's coarse identity: `hostname/<hw-threads>t`.
+pub fn host_fingerprint() -> String {
+    let host = std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .ok()
+        .map(|h| h.trim().to_string())
+        .filter(|h| !h.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok())
+        .unwrap_or_else(|| "unknown".to_string());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!("{host}/{threads}t")
+}
+
+impl HistoryEntry {
+    /// Builds an entry from a `bench_pipeline` output JSON, stamped with
+    /// the current time and this machine's fingerprint.
+    pub fn from_bench_json(bench: &Json) -> Result<HistoryEntry, String> {
+        let num = |section: &str, field: &str| -> Result<f64, String> {
+            bench
+                .get(section)
+                .and_then(|s| s.get(field))
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("bench json: missing {section}.{field}"))
+        };
+        Ok(HistoryEntry {
+            unix_secs: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            host: host_fingerprint(),
+            scale: bench
+                .get("scale")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            workers: bench.get("workers").and_then(Json::as_u64).unwrap_or(0),
+            serial_median_ms: num("serial", "median_ms")?,
+            serial_p95_ms: num("serial", "p95_ms")?,
+            parallel_median_ms: num("parallel", "median_ms")?,
+            parallel_p95_ms: num("parallel", "p95_ms")?,
+            obs_overhead_ratio: bench
+                .get("obs_overhead_ratio")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        })
+    }
+
+    /// Parses one JSONL line back into an entry (`None` on malformed
+    /// lines, so a corrupted history degrades instead of failing).
+    pub fn parse(line: &str) -> Option<HistoryEntry> {
+        let j = Json::parse(line.trim()).ok()?;
+        Some(HistoryEntry {
+            unix_secs: j.get("unix_secs")?.as_u64()?,
+            host: j.get("host")?.as_str()?.to_string(),
+            scale: j.get("scale")?.as_str()?.to_string(),
+            workers: j.get("workers")?.as_u64()?,
+            serial_median_ms: j.get("serial_median_ms")?.as_f64()?,
+            serial_p95_ms: j.get("serial_p95_ms")?.as_f64()?,
+            parallel_median_ms: j.get("parallel_median_ms")?.as_f64()?,
+            parallel_p95_ms: j.get("parallel_p95_ms")?.as_f64()?,
+            obs_overhead_ratio: j.get("obs_overhead_ratio")?.as_f64()?,
+        })
+    }
+
+    /// Whether `other` is a valid regression baseline for this run.
+    pub fn comparable_to(&self, other: &HistoryEntry) -> bool {
+        self.host == other.host && self.scale == other.scale && self.workers == other.workers
+    }
+}
+
+impl ToJson for HistoryEntry {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("unix_secs", self.unix_secs.to_json());
+        j.set("host", self.host.to_json());
+        j.set("scale", self.scale.to_json());
+        j.set("workers", self.workers.to_json());
+        j.set("serial_median_ms", self.serial_median_ms.to_json());
+        j.set("serial_p95_ms", self.serial_p95_ms.to_json());
+        j.set("parallel_median_ms", self.parallel_median_ms.to_json());
+        j.set("parallel_p95_ms", self.parallel_p95_ms.to_json());
+        j.set("obs_overhead_ratio", self.obs_overhead_ratio.to_json());
+        j
+    }
+}
+
+/// Loads every parseable entry from a JSONL history file, oldest first.
+/// A missing file is an empty history, not an error.
+pub fn load(path: &Path) -> Vec<HistoryEntry> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(HistoryEntry::parse)
+        .collect()
+}
+
+/// Appends one entry as a JSONL line, creating the file (and parents)
+/// as needed.
+pub fn append(path: &Path, entry: &HistoryEntry) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", entry.to_json().dump())
+}
+
+/// Outcome of comparing a fresh run against the recorded trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendVerdict {
+    /// Comparable baseline entries found (same host/scale/workers).
+    pub baseline_runs: usize,
+    /// Median of the baseline window's serial medians (0 when empty).
+    pub baseline_median_ms: f64,
+    /// The fresh run's serial median.
+    pub current_median_ms: f64,
+    /// `current / baseline` (1.0 when no baseline exists).
+    pub ratio: f64,
+    /// Whether the gate passes.
+    pub pass: bool,
+}
+
+impl TrendVerdict {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        if self.baseline_runs == 0 {
+            return format!(
+                "no comparable history; seeding trajectory at {:.1} ms",
+                self.current_median_ms
+            );
+        }
+        format!(
+            "serial median {:.1} ms vs baseline {:.1} ms over {} run(s) \
+             ({:.2}x, limit {MAX_REGRESSION_RATIO}x) — {}",
+            self.current_median_ms,
+            self.baseline_median_ms,
+            self.baseline_runs,
+            self.ratio,
+            if self.pass { "ok" } else { "REGRESSION" }
+        )
+    }
+}
+
+/// Gates `fresh` against `history`: fails when the fresh serial median
+/// exceeds the baseline (the median over the most recent
+/// [`BASELINE_WINDOW`] comparable entries) by more than
+/// [`MAX_REGRESSION_RATIO`] *and* more than [`ABS_TOLERANCE_MS`].
+/// Incomparable or empty history always passes — it seeds the
+/// trajectory rather than guessing across machines.
+pub fn trend_gate(history: &[HistoryEntry], fresh: &HistoryEntry) -> TrendVerdict {
+    let mut window: Vec<f64> = history
+        .iter()
+        .filter(|e| fresh.comparable_to(e))
+        .map(|e| e.serial_median_ms)
+        .collect();
+    if window.len() > BASELINE_WINDOW {
+        window.drain(..window.len() - BASELINE_WINDOW);
+    }
+    let baseline_runs = window.len();
+    if baseline_runs == 0 {
+        return TrendVerdict {
+            baseline_runs: 0,
+            baseline_median_ms: 0.0,
+            current_median_ms: fresh.serial_median_ms,
+            ratio: 1.0,
+            pass: true,
+        };
+    }
+    window.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let baseline = window[(baseline_runs - 1) / 2];
+    let ratio = if baseline > 0.0 {
+        fresh.serial_median_ms / baseline
+    } else {
+        1.0
+    };
+    let delta = fresh.serial_median_ms - baseline;
+    TrendVerdict {
+        baseline_runs,
+        baseline_median_ms: baseline,
+        current_median_ms: fresh.serial_median_ms,
+        ratio,
+        pass: ratio <= MAX_REGRESSION_RATIO || delta <= ABS_TOLERANCE_MS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(host: &str, serial_ms: f64) -> HistoryEntry {
+        HistoryEntry {
+            unix_secs: 1,
+            host: host.to_string(),
+            scale: "quick".to_string(),
+            workers: 2,
+            serial_median_ms: serial_ms,
+            serial_p95_ms: serial_ms * 1.1,
+            parallel_median_ms: serial_ms / 2.0,
+            parallel_p95_ms: serial_ms / 1.8,
+            obs_overhead_ratio: 1.01,
+        }
+    }
+
+    #[test]
+    fn entry_roundtrips_through_jsonl() {
+        let e = entry("box/4t", 123.5);
+        let line = e.to_json().dump();
+        assert_eq!(HistoryEntry::parse(&line), Some(e));
+        assert_eq!(HistoryEntry::parse("not json"), None);
+        assert_eq!(HistoryEntry::parse("{\"host\":\"x\"}"), None);
+    }
+
+    #[test]
+    fn append_and_load_roundtrip_and_skip_garbage() {
+        let dir = std::env::temp_dir().join("iot_bench_history_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("hist.jsonl");
+        let a = entry("box/4t", 100.0);
+        let b = entry("box/4t", 110.0);
+        append(&path, &a).unwrap();
+        // A torn/corrupt line must not poison the rest of the file.
+        {
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "{{\"torn\":").unwrap();
+        }
+        append(&path, &b).unwrap();
+        assert_eq!(load(&path), vec![a, b]);
+        assert!(load(&dir.join("missing.jsonl")).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gate_passes_with_no_comparable_history() {
+        let fresh = entry("box/4t", 500.0);
+        let v = trend_gate(&[], &fresh);
+        assert!(v.pass);
+        assert_eq!(v.baseline_runs, 0);
+        // Another machine's entries are not a baseline.
+        let other = entry("elsewhere/64t", 10.0);
+        let v = trend_gate(&[other], &fresh);
+        assert!(v.pass);
+        assert_eq!(v.baseline_runs, 0);
+    }
+
+    #[test]
+    fn gate_fails_on_large_regression_only() {
+        let history = vec![entry("box/4t", 1000.0), entry("box/4t", 1020.0)];
+        let ok = trend_gate(&history, &entry("box/4t", 1100.0));
+        assert!(ok.pass, "{:?}", ok);
+        let bad = trend_gate(&history, &entry("box/4t", 1400.0));
+        assert!(!bad.pass, "{:?}", bad);
+        assert!(bad.ratio > MAX_REGRESSION_RATIO);
+        assert!(bad.summary().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn tiny_absolute_deltas_never_fail() {
+        // 2 ms -> 3 ms is a 1.5x ratio but far under the absolute slack.
+        let history = vec![entry("box/4t", 2.0)];
+        let v = trend_gate(&history, &entry("box/4t", 3.0));
+        assert!(v.pass, "{v:?}");
+    }
+
+    #[test]
+    fn baseline_uses_recent_window_median() {
+        let mut history: Vec<HistoryEntry> =
+            (0..20).map(|i| entry("box/4t", 2000.0 - i as f64 * 50.0)).collect();
+        // The old slow entries (2000, 1950, …) fall outside the window;
+        // the recent ones (1400 down to 1050, median 1200) set the bar,
+        // so a 1500 ms run is a regression against the *recent* trend
+        // even though it beats the oldest entries.
+        let fresh = entry("box/4t", 1500.0);
+        let v = trend_gate(&history, &fresh);
+        assert_eq!(v.baseline_runs, BASELINE_WINDOW);
+        assert!(v.baseline_median_ms < 1300.0, "{v:?}");
+        assert!(!v.pass, "{v:?}");
+        history.truncate(2); // only 2000/1950 remain -> fresh is faster
+        assert!(trend_gate(&history, &fresh).pass);
+    }
+
+    #[test]
+    fn fingerprint_shape() {
+        let fp = host_fingerprint();
+        assert!(fp.contains('/'), "{fp}");
+        assert!(fp.ends_with('t'), "{fp}");
+    }
+}

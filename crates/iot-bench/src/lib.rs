@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod history;
 
 use iot_analysis::destinations::DestinationAnalysis;
 use iot_analysis::encryption::EncryptionAnalysis;

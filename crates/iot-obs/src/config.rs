@@ -1,12 +1,23 @@
 //! Environment-driven configuration.
 //!
-//! Two variables control the layer, both read once per process:
+//! Four variables control the layer. They are read **once per process**
+//! into a single [`OnceLock`]-cached [`ObsConfig`] — every call-site
+//! gate (`enabled()`, `verbose()`, report paths, the serve address, the
+//! event-ring capacity) resolves through that one cached struct, so a
+//! mid-run environment mutation can never produce a half-enabled run
+//! where some shards record and others don't.
 //!
 //! * `IOT_OBS` — verbosity. `0`/unset: disabled (near-zero overhead);
 //!   `1`: metrics recorded and run reports written; `2`: additionally
 //!   print [`progress!`](crate::progress) lines to stderr.
 //! * `IOT_OBS_OUT` — run-report path (default `results/obs_run.json`).
+//! * `IOT_OBS_SERVE` — bind address (e.g. `127.0.0.1:9464`) for the live
+//!   HTTP telemetry endpoint (see [`crate::serve`]). Unset: no server.
+//! * `IOT_OBS_EVENTS` — per-shard event-ring capacity for the flight
+//!   recorder (default [`DEFAULT_EVENT_CAPACITY`]; `0` disables event
+//!   recording while keeping aggregate metrics).
 
+use crate::events::DEFAULT_EVENT_CAPACITY;
 use std::sync::OnceLock;
 
 /// Default run-report path when `IOT_OBS_OUT` is unset.
@@ -19,6 +30,10 @@ pub struct ObsConfig {
     pub verbosity: u8,
     /// Run-report output path.
     pub out_path: String,
+    /// Live telemetry endpoint bind address (`IOT_OBS_SERVE`), if any.
+    pub serve_addr: Option<String>,
+    /// Flight-recorder ring capacity per shard (`IOT_OBS_EVENTS`).
+    pub event_capacity: usize,
 }
 
 impl ObsConfig {
@@ -30,7 +45,20 @@ impl ObsConfig {
             .unwrap_or(0);
         let out_path =
             std::env::var("IOT_OBS_OUT").unwrap_or_else(|_| DEFAULT_OUT.to_string());
-        ObsConfig { verbosity, out_path }
+        let serve_addr = std::env::var("IOT_OBS_SERVE")
+            .ok()
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty());
+        let event_capacity = std::env::var("IOT_OBS_EVENTS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_EVENT_CAPACITY);
+        ObsConfig {
+            verbosity,
+            out_path,
+            serve_addr,
+            event_capacity,
+        }
     }
 }
 
@@ -66,5 +94,20 @@ mod tests {
         if std::env::var("IOT_OBS_OUT").is_err() {
             assert_eq!(c.out_path, DEFAULT_OUT);
         }
+        if std::env::var("IOT_OBS_SERVE").is_err() {
+            assert_eq!(c.serve_addr, None);
+        }
+        if std::env::var("IOT_OBS_EVENTS").is_err() {
+            assert_eq!(c.event_capacity, DEFAULT_EVENT_CAPACITY);
+        }
+    }
+
+    #[test]
+    fn global_is_cached_once() {
+        // Two reads must return the very same allocation — the OnceLock
+        // guarantee that call sites can never observe two configs.
+        let a = global() as *const ObsConfig;
+        let b = global() as *const ObsConfig;
+        assert_eq!(a, b);
     }
 }

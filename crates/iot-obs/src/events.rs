@@ -1,0 +1,417 @@
+//! Event-level flight recorder.
+//!
+//! Where [`Registry`](crate::Registry) keeps *aggregates* (a span path's
+//! total wall-clock, a counter's sum), the flight recorder keeps the
+//! *sequence*: every span begin/end, counter delta, and mark, timestamped
+//! and ordered, in a fixed-capacity shard-local ring buffer. When the
+//! ring fills it overwrites its oldest entries — flight-recorder
+//! semantics: the most recent window of activity survives, and the
+//! number of overwritten events is reported so truncation is never
+//! silent.
+//!
+//! ## Allocation discipline
+//!
+//! The buffer is reserved once at setup ([`EventRing::with_capacity`]);
+//! events are plain `Copy` structs, so the record path performs no
+//! allocation. Labels are interned into a small per-ring table on first
+//! use — after the first occurrence of a label the hot path only does a
+//! short pointer-compare scan, exactly like the span arena.
+//!
+//! ## Streams and determinism
+//!
+//! Wall-clock timestamps and worker ids are intrinsically run-dependent,
+//! so the merged timeline carries a second, *logical* coordinate system:
+//! a **stream** is a deterministic 64-bit key for the unit of work being
+//! processed (the pipeline uses a digest of the experiment identity
+//! tuple `(device, site, vpn, label, rep)`), and every event records the
+//! sequence number within its stream. Sorting stream-tagged events by
+//! `(stream, stream_seq, label, kind, delta)` yields an order that is a
+//! pure function of the corpus — byte-identical across 1, 2, or 8
+//! workers — which is what [`Timeline::deterministic_events`] exposes
+//! and `crate::export` renders. Events recorded outside any stream
+//! (driver-level spans like `campaign_new`, per-worker `shard` regions)
+//! carry stream 0 and appear only in the wall-clock timeline.
+
+use std::time::Instant;
+
+/// Default ring capacity (events) when `IOT_OBS_EVENTS` is unset.
+/// Budgeted so a quick-scale campaign records without wrapping:
+/// ~2.5k experiments × ~17 events each ≈ 43k events.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 17;
+
+/// What one event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A span opened (label = span path).
+    SpanBegin,
+    /// A span closed.
+    SpanEnd,
+    /// A counter was incremented by `delta`.
+    Counter,
+    /// An instantaneous point of interest (e.g. `quarantine`).
+    Mark,
+}
+
+impl EventKind {
+    /// Short stable name used by exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::SpanBegin => "B",
+            EventKind::SpanEnd => "E",
+            EventKind::Counter => "C",
+            EventKind::Mark => "M",
+        }
+    }
+}
+
+/// One recorded event. `Copy`, so ring writes never allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the process-wide recorder epoch.
+    pub ts_ns: u64,
+    /// Per-worker monotonic sequence number (tie-break for equal
+    /// timestamps within one worker).
+    pub seq: u64,
+    /// Deterministic stream key; 0 when recorded outside any stream.
+    pub stream: u64,
+    /// Sequence number within the stream (resets at stream begin).
+    pub stream_seq: u32,
+    /// Worker track (0 = driver, 1.. = shard workers).
+    pub worker: u32,
+    /// Index into the ring's label table.
+    pub label: u32,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Counter delta (0 for spans and marks).
+    pub delta: u64,
+}
+
+/// The process-wide epoch all rings stamp against, so timestamps from
+/// different workers are comparable.
+fn epoch() -> Instant {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Converts an already-read `Instant` to a recorder timestamp — lets
+/// callers that just read the clock for their own timing (span guards)
+/// stamp events without a second clock read.
+pub(crate) fn ts_ns_at(at: Instant) -> u64 {
+    u64::try_from(at.saturating_duration_since(epoch()).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Fixed-capacity shard-local event buffer.
+#[derive(Debug)]
+pub struct EventRing {
+    labels: Vec<String>,
+    buf: Vec<Event>,
+    /// Write cursor once the buffer is full (oldest entry).
+    head: usize,
+    capacity: usize,
+    overwritten: u64,
+    seq: u64,
+    stream: u64,
+    stream_seq: u32,
+    worker: u32,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events. The buffer is
+    /// reserved up front; recording never allocates event storage.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventRing {
+            labels: Vec::new(),
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            overwritten: 0,
+            seq: 0,
+            stream: 0,
+            stream_seq: 0,
+            worker: 0,
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events overwritten after the ring filled.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Sets the worker track stamped on subsequent events.
+    pub fn set_worker(&mut self, worker: u32) {
+        self.worker = worker;
+    }
+
+    /// Enters a stream: subsequent events carry `stream` and a sequence
+    /// number counted from zero.
+    pub fn begin_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.stream_seq = 0;
+    }
+
+    /// Leaves the current stream; subsequent events are driver-scoped.
+    pub fn end_stream(&mut self) {
+        self.stream = 0;
+        self.stream_seq = 0;
+    }
+
+    /// Interns `label`, returning its index. Linear scan: the label set
+    /// is small (one entry per distinct span path / counter name).
+    fn intern(&mut self, label: &str) -> u32 {
+        if let Some(i) = self.labels.iter().position(|l| l == label) {
+            return i as u32;
+        }
+        self.labels.push(label.to_string());
+        (self.labels.len() - 1) as u32
+    }
+
+    /// Records one event stamped with the current clock. Overwrites the
+    /// oldest entry when full.
+    pub fn record(&mut self, kind: EventKind, label: &str, delta: u64) {
+        self.record_at(
+            u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX),
+            kind,
+            label,
+            delta,
+        );
+    }
+
+    /// Records one event with a caller-supplied timestamp (from
+    /// [`ts_ns_at`]) — the span hot path reads the clock exactly once
+    /// per boundary and shares the reading between its aggregate timer
+    /// and the flight recorder.
+    pub(crate) fn record_at(&mut self, ts_ns: u64, kind: EventKind, label: &str, delta: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let label = self.intern(label);
+        let ev = Event {
+            ts_ns,
+            seq: self.seq,
+            stream: self.stream,
+            stream_seq: self.stream_seq,
+            worker: self.worker,
+            label,
+            kind,
+            delta,
+        };
+        self.seq += 1;
+        if self.stream != 0 {
+            self.stream_seq += 1;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Drains the ring in record order into `(labels, events)`, oldest
+    /// surviving event first.
+    pub fn into_parts(self) -> (Vec<String>, Vec<Event>, u64) {
+        let EventRing {
+            labels,
+            buf,
+            head,
+            overwritten,
+            ..
+        } = self;
+        let mut events = Vec::with_capacity(buf.len());
+        events.extend_from_slice(&buf[head..]);
+        events.extend_from_slice(&buf[..head]);
+        (labels, events, overwritten)
+    }
+
+    /// Copies the retained events in record order (for snapshots that
+    /// must not consume the ring).
+    pub fn parts(&self) -> (Vec<String>, Vec<Event>, u64) {
+        let mut events = Vec::with_capacity(self.buf.len());
+        events.extend_from_slice(&self.buf[self.head..]);
+        events.extend_from_slice(&self.buf[..self.head]);
+        (self.labels.clone(), events, self.overwritten)
+    }
+}
+
+/// A merged, label-resolved view over one or more rings: the global
+/// timeline the exporters consume.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// Shared label table; events index into it.
+    pub labels: Vec<String>,
+    /// Events sorted by `(ts_ns, worker, seq)`.
+    pub events: Vec<Event>,
+    /// Total events lost to ring overwrites across all merged rings.
+    pub overwritten: u64,
+}
+
+impl Timeline {
+    /// Builds a timeline from raw parts, remapping nothing (the caller
+    /// guarantees `events` index into `labels`), then sorts into global
+    /// wall-clock order.
+    pub fn new(labels: Vec<String>, mut events: Vec<Event>, overwritten: u64) -> Self {
+        events.sort_by_key(|e| (e.ts_ns, e.worker, e.seq));
+        Timeline {
+            labels,
+            events,
+            overwritten,
+        }
+    }
+
+    /// The label of an event.
+    pub fn label(&self, ev: &Event) -> &str {
+        &self.labels[ev.label as usize]
+    }
+
+    /// The deterministic subset: stream-tagged events, ordered by the
+    /// logical key `(stream, stream_seq, label, kind, delta)` — a pure
+    /// function of the corpus, independent of worker count, scheduling,
+    /// and wall clocks.
+    pub fn deterministic_events(&self) -> Vec<&Event> {
+        let mut evs: Vec<&Event> = self.events.iter().filter(|e| e.stream != 0).collect();
+        evs.sort_by(|a, b| {
+            (a.stream, a.stream_seq, self.label(a), a.kind, a.delta).cmp(&(
+                b.stream,
+                b.stream_seq,
+                self.label(b),
+                b.kind,
+                b.delta,
+            ))
+        });
+        evs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(ring: EventRing) -> Vec<(String, EventKind, u64)> {
+        let (labels, events, _) = ring.into_parts();
+        events
+            .iter()
+            .map(|e| (labels[e.label as usize].clone(), e.kind, e.delta))
+            .collect()
+    }
+
+    #[test]
+    fn records_in_order_without_allocating_per_event() {
+        let mut r = EventRing::with_capacity(8);
+        r.record(EventKind::SpanBegin, "a", 0);
+        r.record(EventKind::Counter, "c", 5);
+        r.record(EventKind::SpanEnd, "a", 0);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.overwritten(), 0);
+        let evs = drain(r);
+        assert_eq!(
+            evs,
+            vec![
+                ("a".into(), EventKind::SpanBegin, 0),
+                ("c".into(), EventKind::Counter, 5),
+                ("a".into(), EventKind::SpanEnd, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn full_ring_overwrites_oldest_and_counts_losses() {
+        let mut r = EventRing::with_capacity(4);
+        for i in 0..10u64 {
+            r.record(EventKind::Counter, "n", i);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.overwritten(), 6);
+        let evs = drain(r);
+        let deltas: Vec<u64> = evs.iter().map(|(_, _, d)| *d).collect();
+        assert_eq!(deltas, vec![6, 7, 8, 9], "most recent window survives");
+    }
+
+    #[test]
+    fn zero_capacity_ring_is_inert() {
+        let mut r = EventRing::with_capacity(0);
+        r.record(EventKind::Mark, "x", 0);
+        assert!(r.is_empty());
+        assert_eq!(r.overwritten(), 0);
+    }
+
+    #[test]
+    fn stream_sequence_resets_per_stream() {
+        let mut r = EventRing::with_capacity(16);
+        r.begin_stream(42);
+        r.record(EventKind::SpanBegin, "work", 0);
+        r.record(EventKind::SpanEnd, "work", 0);
+        r.end_stream();
+        r.record(EventKind::Mark, "driver", 0);
+        r.begin_stream(43);
+        r.record(EventKind::SpanBegin, "work", 0);
+        r.end_stream();
+        let (_, events, _) = r.into_parts();
+        assert_eq!(events[0].stream, 42);
+        assert_eq!(events[0].stream_seq, 0);
+        assert_eq!(events[1].stream_seq, 1);
+        assert_eq!(events[2].stream, 0, "driver-scoped event");
+        assert_eq!(events[3].stream, 43);
+        assert_eq!(events[3].stream_seq, 0);
+    }
+
+    #[test]
+    fn timeline_sorts_by_wall_clock_then_worker_then_seq() {
+        let mk = |ts, worker, seq| Event {
+            ts_ns: ts,
+            seq,
+            stream: 0,
+            stream_seq: 0,
+            worker,
+            label: 0,
+            kind: EventKind::Mark,
+            delta: 0,
+        };
+        let t = Timeline::new(
+            vec!["x".into()],
+            vec![mk(5, 2, 0), mk(5, 1, 1), mk(1, 3, 0), mk(5, 1, 0)],
+            0,
+        );
+        let order: Vec<(u64, u32, u64)> =
+            t.events.iter().map(|e| (e.ts_ns, e.worker, e.seq)).collect();
+        assert_eq!(order, vec![(1, 3, 0), (5, 1, 0), (5, 1, 1), (5, 2, 0)]);
+    }
+
+    #[test]
+    fn deterministic_subset_is_input_order_independent() {
+        let build = |shuffle: bool| {
+            let mut r = EventRing::with_capacity(32);
+            let streams: &[u64] = if shuffle { &[9, 7, 8] } else { &[7, 8, 9] };
+            for &s in streams {
+                r.begin_stream(s);
+                r.record(EventKind::SpanBegin, "ingest", 0);
+                r.record(EventKind::Counter, "packets", s * 10);
+                r.record(EventKind::SpanEnd, "ingest", 0);
+                r.end_stream();
+            }
+            let (labels, events, over) = r.into_parts();
+            let t = Timeline::new(labels, events, over);
+            t.deterministic_events()
+                .iter()
+                .map(|e| (e.stream, e.stream_seq, t.label(e).to_string(), e.kind, e.delta))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(false), build(true));
+    }
+}

@@ -1,0 +1,325 @@
+//! Exporters: the flight-recorder timeline as Chrome trace-event JSON
+//! and the registry snapshot as Prometheus text exposition.
+//!
+//! ## Chrome trace
+//!
+//! [`chrome_trace`] renders a [`Timeline`] in the trace-event format
+//! that `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly: span begin/end pairs become `B`/`E` duration events on one
+//! track per worker (`tid` = worker, `tid` 0 is the driver), counter
+//! deltas become `C` counter samples, and marks become `i` instants.
+//!
+//! Two modes ([`TraceMode`]):
+//!
+//! * [`TraceMode::Wall`] — microsecond wall-clock timestamps since the
+//!   recorder epoch. What you load into Perfetto; run-dependent by
+//!   nature.
+//! * [`TraceMode::Deterministic`] — the stream-tagged subset only,
+//!   ordered by the logical `(stream, stream_seq, …)` key with the
+//!   running index as the timestamp and every run-dependent coordinate
+//!   (wall clock, worker) dropped. The rendered bytes are a pure
+//!   function of the corpus: byte-identical across 1/2/8 workers, which
+//!   `bench_pipeline` asserts and `obs_check` gates.
+//!
+//! ## Prometheus
+//!
+//! [`prometheus`] renders a [`Snapshot`] in text exposition format 0.0.4
+//! (`# TYPE` comments, `_total` counters, histogram `_bucket`/`_sum`/
+//! `_count` series). Histogram `le` bounds come from
+//! [`Histogram::bucket_upper_bound`] — the *same* bounds every quantile
+//! query in the run report uses, so a p95 read from the stage table and
+//! a p95 computed from the scraped buckets can never disagree. Span
+//! aggregates export as `iot_span_calls_total{span="…"}` counters and
+//! `iot_span_duration_ns{span="…"}` histograms.
+
+use crate::events::{Event, EventKind, Timeline};
+use crate::metrics::Histogram;
+use crate::registry::Snapshot;
+use iot_core::json::{Json, ToJson};
+use std::fmt::Write as _;
+
+/// Timestamp/ordering mode for [`chrome_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Wall-clock microseconds, one track per worker.
+    Wall,
+    /// Logical sequence numbers, deterministic subset only.
+    Deterministic,
+}
+
+fn wall_event_json(t: &Timeline, e: &Event) -> Json {
+    let mut j = Json::obj();
+    j.set("name", t.label(e).to_json());
+    j.set("ph", chrome_phase(e.kind).to_json());
+    // Trace-event timestamps are microseconds; keep sub-µs resolution.
+    j.set("ts", (e.ts_ns as f64 / 1e3).to_json());
+    j.set("pid", 1u64.to_json());
+    j.set("tid", u64::from(e.worker).to_json());
+    decorate(&mut j, e);
+    j
+}
+
+fn det_event_json(t: &Timeline, e: &Event, index: u64) -> Json {
+    let mut j = Json::obj();
+    j.set("name", t.label(e).to_json());
+    j.set("ph", chrome_phase(e.kind).to_json());
+    j.set("ts", index.to_json());
+    j.set("pid", 1u64.to_json());
+    j.set("tid", 0u64.to_json());
+    let mut args = Json::obj();
+    args.set("stream", format!("{:016x}", e.stream).to_json());
+    args.set("seq", u64::from(e.stream_seq).to_json());
+    if e.kind == EventKind::Counter {
+        args.set("delta", e.delta.to_json());
+    }
+    j.set("args", args);
+    if e.kind == EventKind::Mark {
+        j.set("s", "t".to_json());
+    }
+    j
+}
+
+fn chrome_phase(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::SpanBegin => "B",
+        EventKind::SpanEnd => "E",
+        EventKind::Counter => "C",
+        EventKind::Mark => "i",
+    }
+}
+
+fn decorate(j: &mut Json, e: &Event) {
+    match e.kind {
+        EventKind::Counter => {
+            let mut args = Json::obj();
+            args.set("delta", e.delta.to_json());
+            j.set("args", args);
+        }
+        EventKind::Mark => {
+            // Thread-scoped instant; Perfetto requires the scope field.
+            j.set("s", "t".to_json());
+        }
+        EventKind::SpanBegin | EventKind::SpanEnd => {}
+    }
+}
+
+/// Renders a timeline as a Chrome trace-event JSON document.
+pub fn chrome_trace(t: &Timeline, mode: TraceMode) -> Json {
+    let events: Vec<Json> = match mode {
+        TraceMode::Wall => t.events.iter().map(|e| wall_event_json(t, e)).collect(),
+        TraceMode::Deterministic => t
+            .deterministic_events()
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| det_event_json(t, e, i as u64))
+            .collect(),
+    };
+    let mut j = Json::obj();
+    j.set("traceEvents", Json::Arr(events));
+    j.set("displayTimeUnit", "ms".to_json());
+    if mode == TraceMode::Wall {
+        j.set("overwrittenEvents", t.overwritten.to_json());
+    }
+    j
+}
+
+/// Maps a metric name to a Prometheus-safe identifier: `iot_` prefix,
+/// every character outside `[a-zA-Z0-9_]` folded to `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("iot_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' {
+            c
+        } else {
+            '_'
+        });
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `le` label value of bucket `i` — the same inclusive upper bound
+/// [`Histogram::quantile_upper_bound`] resolves to.
+fn le_value(i: usize) -> String {
+    if i >= Histogram::NUM_BUCKETS - 1 {
+        "+Inf".to_string()
+    } else {
+        Histogram::bucket_upper_bound(i).to_string()
+    }
+}
+
+fn write_histogram(out: &mut String, family: &str, labels: &str, h: &Histogram) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for (i, &n) in h.bucket_counts().iter().enumerate() {
+        cumulative += n;
+        let _ = writeln!(
+            out,
+            "{family}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}",
+            le_value(i)
+        );
+    }
+    let braces = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{family}_sum{braces} {}", h.sum());
+    let _ = writeln!(out, "{family}_count{braces} {}", h.count());
+}
+
+/// Renders a registry snapshot in Prometheus text exposition format.
+pub fn prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let family = format!("{}_total", sanitize(name));
+        let _ = writeln!(out, "# TYPE {family} counter");
+        let _ = writeln!(out, "{family} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let family = sanitize(name);
+        let _ = writeln!(out, "# TYPE {family} gauge");
+        let _ = writeln!(out, "{family} {}", iot_core::json::fmt_f64(*value));
+    }
+    for (name, h) in &snap.histograms {
+        let family = sanitize(name);
+        let _ = writeln!(out, "# TYPE {family} histogram");
+        write_histogram(&mut out, &family, "", h);
+    }
+    if !snap.spans.is_empty() {
+        let _ = writeln!(out, "# TYPE iot_span_calls_total counter");
+        for (path, stats) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "iot_span_calls_total{{span=\"{}\"}} {}",
+                escape_label(path),
+                stats.calls
+            );
+        }
+    }
+    if !snap.span_durations.is_empty() {
+        let _ = writeln!(out, "# TYPE iot_span_duration_ns histogram");
+        for (path, h) in &snap.span_durations {
+            let labels = format!("span=\"{}\"", escape_label(path));
+            write_histogram(&mut out, "iot_span_duration_ns", &labels, h);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+    use std::time::Duration;
+
+    #[test]
+    fn chrome_trace_wall_has_one_track_per_worker() {
+        let target = Registry::with_event_capacity(true, 32);
+        target.set_worker(0);
+        for w in 1..=2u32 {
+            let shard = Registry::with_event_capacity(true, 32);
+            shard.set_worker(w);
+            let _s = shard.span("work");
+            drop(_s);
+            target.merge(shard);
+        }
+        let j = chrome_trace(&target.timeline(), TraceMode::Wall);
+        let events = j.get("traceEvents").and_then(Json::items).unwrap();
+        assert_eq!(events.len(), 4);
+        let tids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+            .collect();
+        assert_eq!(tids.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        // The document round-trips through the in-tree parser.
+        let parsed = Json::parse(&j.dump()).unwrap();
+        assert_eq!(parsed.dump(), j.dump());
+    }
+
+    #[test]
+    fn deterministic_trace_is_merge_order_independent() {
+        let build = |order: &[u64]| {
+            let target = Registry::with_event_capacity(true, 64);
+            for (i, &stream) in order.iter().enumerate() {
+                let shard = Registry::with_event_capacity(true, 64);
+                shard.set_worker(i as u32 + 1);
+                shard.begin_stream(stream);
+                {
+                    let _s = shard.span("ingest");
+                    shard.add("packets", stream);
+                }
+                shard.end_stream();
+                target.merge(shard);
+            }
+            chrome_trace(&target.timeline(), TraceMode::Deterministic).dump()
+        };
+        assert_eq!(build(&[3, 1, 2]), build(&[2, 3, 1]));
+        let doc = build(&[3, 1, 2]);
+        assert!(doc.contains("\"stream\""), "{doc}");
+        assert!(!doc.contains("\"overwrittenEvents\""));
+    }
+
+    #[test]
+    fn prometheus_renders_all_metric_kinds() {
+        let r = Registry::with_event_capacity(true, 0);
+        r.add("experiments", 7);
+        r.set_gauge("workers", 2.0);
+        r.observe("flow_bytes", 100);
+        r.observe("flow_bytes", 5000);
+        r.record_ns("ingest", Duration::from_nanos(1500));
+        let text = prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE iot_experiments_total counter"), "{text}");
+        assert!(text.contains("iot_experiments_total 7"));
+        assert!(text.contains("# TYPE iot_workers gauge"));
+        assert!(text.contains("iot_workers 2.0"));
+        assert!(text.contains("# TYPE iot_flow_bytes histogram"));
+        assert!(text.contains("iot_flow_bytes_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("iot_flow_bytes_sum 5100"));
+        assert!(text.contains("iot_flow_bytes_count 2"));
+        assert!(text.contains("iot_span_calls_total{span=\"ingest\"} 1"));
+        assert!(text.contains("iot_span_duration_ns_bucket{span=\"ingest\",le=\"2047\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_share_quantile_bounds() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100] {
+            h.observe(v);
+        }
+        let mut out = String::new();
+        write_histogram(&mut out, "iot_x", "", &h);
+        // Bucket upper bound 3 (index 2) holds values {1? no — 1 is in
+        // [1,2), 2 and 3 in [2,4)}: cumulative at le="3" is 3 samples.
+        assert!(out.contains("iot_x_bucket{le=\"1\"} 1"), "{out}");
+        assert!(out.contains("iot_x_bucket{le=\"3\"} 3"), "{out}");
+        assert!(out.contains("iot_x_bucket{le=\"127\"} 4"), "{out}");
+        assert!(out.contains("iot_x_bucket{le=\"+Inf\"} 4"), "{out}");
+        // The le bound at which the cumulative count first reaches the
+        // median rank equals quantile_upper_bound(0.5) — same bounds,
+        // same answer.
+        assert_eq!(h.quantile_upper_bound(0.5), Some(3));
+    }
+
+    #[test]
+    fn sanitize_folds_dots_and_slashes() {
+        assert_eq!(sanitize("ingest.errors.salvage"), "iot_ingest_errors_salvage");
+        assert_eq!(sanitize("a/b-c"), "iot_a_b_c");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

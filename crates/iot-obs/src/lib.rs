@@ -15,10 +15,19 @@
 //!   [`Registry::span`]: wall-clock plus call counts aggregated per
 //!   `parent/child` label path.
 //! * [`metrics`] — the deterministic power-of-two-bucket [`Histogram`].
+//! * [`events`] — the flight recorder: a fixed-capacity, shard-local
+//!   [`EventRing`] of span begin/end and counter-delta [`Event`]s,
+//!   folded at merge time into one [`Timeline`].
+//! * [`export`] — [`chrome_trace`] (Perfetto-loadable trace-event JSON)
+//!   and [`prometheus`] (text exposition 0.0.4) renderers.
+//! * [`serve`] — an optional std-only HTTP endpoint (`IOT_OBS_SERVE`)
+//!   serving `/metrics`, `/trace`, and `/progress` live during a run.
 //! * [`report`] — [`RunReport`]: a snapshot of a registry rendered as
 //!   deterministic JSON (via `iot_core::json`) or as a human-readable
 //!   stage table, written to `results/obs_run.json` by default.
-//! * [`config`] — the `IOT_OBS` / `IOT_OBS_OUT` environment gates.
+//! * [`config`] — the `IOT_OBS` / `IOT_OBS_OUT` / `IOT_OBS_SERVE` /
+//!   `IOT_OBS_EVENTS` environment gates, parsed once into a cached
+//!   [`config::ObsConfig`].
 //! * [`process`] — process-wide atomic counters for layers (like the
 //!   testbed generators) that have no registry in scope.
 //! * [`log`] — the [`progress!`](crate::progress) macro: stderr progress
@@ -47,14 +56,19 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod events;
+pub mod export;
 pub mod log;
 pub mod metrics;
 pub mod process;
 pub mod registry;
 pub mod report;
+pub mod serve;
 pub mod span;
 
 pub use config::{enabled, verbose};
+pub use events::{Event, EventKind, EventRing, Timeline};
+pub use export::{chrome_trace, prometheus, TraceMode};
 pub use metrics::Histogram;
 pub use registry::{Registry, SpanGuard};
 pub use report::RunReport;

@@ -76,6 +76,14 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Per-bucket sample counts, indexed like
+    /// [`bucket_upper_bound`](Histogram::bucket_upper_bound) — exposed
+    /// so exporters can render exactly the bounds the quantile queries
+    /// use.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count

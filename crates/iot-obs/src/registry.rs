@@ -15,20 +15,40 @@
 //! compares full path strings. This keeps per-experiment instrumentation
 //! overhead in the low microseconds (gated <5% end to end by
 //! `obs_check`).
+//!
+//! Each enabled registry also owns a fixed-capacity
+//! [`EventRing`](crate::events::EventRing): span opens/closes and
+//! counter increments additionally append timestamped events, and
+//! [`Registry::merge`] folds the shards' rings into a single global
+//! [`Timeline`] retrievable via [`Registry::timeline`]. Span durations
+//! are recorded into per-path [`Histogram`]s alongside the aggregate
+//! [`SpanStats`], so reports can derive p50/p95 from exactly the same
+//! bucket bounds the Prometheus exporter emits.
 
+use crate::events::{Event, EventKind, EventRing, Timeline};
 use crate::metrics::Histogram;
 use crate::span::SpanStats;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+fn intern_label(labels: &mut Vec<String>, label: &str) -> u32 {
+    if let Some(i) = labels.iter().position(|l| l == label) {
+        return i as u32;
+    }
+    labels.push(label.to_string());
+    (labels.len() - 1) as u32
+}
+
 struct Inner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
-    /// Interned span arena: full path and aggregate stats per slot.
+    /// Interned span arena: full path, aggregate stats, and duration
+    /// histogram per slot.
     span_paths: Vec<String>,
     span_stats: Vec<SpanStats>,
+    span_hists: Vec<Histogram>,
     /// `children[0]` holds slots opened at the root; `children[s + 1]`
     /// holds slots opened while slot `s` was the innermost open span.
     /// Entries are `(label, slot)`; the lists are short (one per distinct
@@ -36,23 +56,33 @@ struct Inner {
     children: Vec<Vec<(String, usize)>>,
     /// Slots of currently open spans, outermost first.
     stack: Vec<usize>,
+    /// Flight recorder (None when events are disabled).
+    events: Option<EventRing>,
+    /// Events folded in from merged shard registries, indices into
+    /// `merged_labels`.
+    merged_events: Vec<Event>,
+    merged_labels: Vec<String>,
+    merged_overwritten: u64,
 }
 
-impl Default for Inner {
-    fn default() -> Self {
+impl Inner {
+    fn new(events: Option<EventRing>) -> Self {
         Inner {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
             span_paths: Vec::new(),
             span_stats: Vec::new(),
+            span_hists: Vec::new(),
             children: vec![Vec::new()],
             stack: Vec::new(),
+            events,
+            merged_events: Vec::new(),
+            merged_labels: Vec::new(),
+            merged_overwritten: 0,
         }
     }
-}
 
-impl Inner {
     /// Resolves `(parent, label)` to a slot, interning on first use.
     fn intern_child(&mut self, parent: Option<usize>, label: &str) -> usize {
         let ci = parent.map_or(0, |p| p + 1);
@@ -66,6 +96,7 @@ impl Inner {
         let slot = self.span_paths.len();
         self.span_paths.push(path);
         self.span_stats.push(SpanStats::default());
+        self.span_hists.push(Histogram::default());
         self.children.push(Vec::new());
         self.children[ci].push((label.to_string(), slot));
         slot
@@ -81,6 +112,7 @@ impl Inner {
         let slot = self.span_paths.len();
         self.span_paths.push(path.to_string());
         self.span_stats.push(SpanStats::default());
+        self.span_hists.push(Histogram::default());
         self.children.push(Vec::new());
         self.children[0].push((path.to_string(), slot));
         slot
@@ -101,9 +133,41 @@ impl Inner {
         }
         spans
     }
+
+    /// Aggregated span-duration histograms keyed by full path.
+    fn span_hists_by_path(&self) -> BTreeMap<String, Histogram> {
+        let mut hists: BTreeMap<String, Histogram> = BTreeMap::new();
+        for (p, h) in self.span_paths.iter().zip(&self.span_hists) {
+            match hists.get_mut(p) {
+                Some(e) => e.merge(h),
+                None => {
+                    hists.insert(p.clone(), h.clone());
+                }
+            }
+        }
+        hists
+    }
+
+    /// Folds `(labels, events)` into the merged-event store, remapping
+    /// label indices into `merged_labels`.
+    fn fold_events(&mut self, labels: &[String], events: Vec<Event>, overwritten: u64) {
+        if events.is_empty() && overwritten == 0 {
+            return;
+        }
+        let remap: Vec<u32> = labels
+            .iter()
+            .map(|l| intern_label(&mut self.merged_labels, l))
+            .collect();
+        self.merged_events.extend(events.into_iter().map(|mut e| {
+            e.label = remap[e.label as usize];
+            e
+        }));
+        self.merged_overwritten += overwritten;
+    }
 }
 
-/// A shard-local collection of counters, gauges, histograms, and spans.
+/// A shard-local collection of counters, gauges, histograms, spans, and
+/// flight-recorder events.
 pub struct Registry {
     enabled: bool,
     inner: RefCell<Inner>,
@@ -124,11 +188,21 @@ impl Registry {
 
     /// Creates a registry with recording explicitly forced on or off,
     /// ignoring the environment — used by tests and by the overhead
-    /// benchmark, which measures both modes inside one process.
+    /// benchmark, which measures both modes inside one process. The
+    /// event-ring capacity still follows `IOT_OBS_EVENTS`.
     pub fn with_enabled(enabled: bool) -> Self {
+        Self::with_event_capacity(enabled, crate::config::global().event_capacity)
+    }
+
+    /// Creates a registry with both recording and the flight-recorder
+    /// ring capacity forced (0 disables events while keeping aggregate
+    /// metrics).
+    pub fn with_event_capacity(enabled: bool, event_capacity: usize) -> Self {
+        let events = (enabled && event_capacity > 0)
+            .then(|| EventRing::with_capacity(event_capacity));
         Registry {
             enabled,
-            inner: RefCell::new(Inner::default()),
+            inner: RefCell::new(Inner::new(events)),
         }
     }
 
@@ -137,17 +211,62 @@ impl Registry {
         self.enabled
     }
 
+    /// Whether this registry records flight-recorder events.
+    pub fn events_enabled(&self) -> bool {
+        self.enabled && self.inner.borrow().events.is_some()
+    }
+
+    /// Sets the worker track stamped on this registry's events (0 =
+    /// driver; shard workers use 1..).
+    pub fn set_worker(&self, worker: u32) {
+        if let Some(ring) = self.inner.borrow_mut().events.as_mut() {
+            ring.set_worker(worker);
+        }
+    }
+
+    /// Enters a deterministic event stream (see `crate::events`); all
+    /// events until [`Registry::end_stream`] carry `stream` and a
+    /// logical per-stream sequence number.
+    pub fn begin_stream(&self, stream: u64) {
+        if let Some(ring) = self.inner.borrow_mut().events.as_mut() {
+            ring.begin_stream(stream);
+        }
+    }
+
+    /// Leaves the current event stream.
+    pub fn end_stream(&self) {
+        if let Some(ring) = self.inner.borrow_mut().events.as_mut() {
+            ring.end_stream();
+        }
+    }
+
+    /// Records an instantaneous mark event (e.g. `quarantine`).
+    pub fn mark(&self, label: &str) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(ring) = self.inner.borrow_mut().events.as_mut() {
+            ring.record(EventKind::Mark, label, 0);
+        }
+    }
+
     /// Adds `delta` to the counter `name`, creating it at zero first.
     pub fn add(&self, name: &str, delta: u64) {
         if !self.enabled {
             return;
         }
         let mut inner = self.inner.borrow_mut();
-        match inner.counters.get_mut(name) {
+        let Inner {
+            counters, events, ..
+        } = &mut *inner;
+        match counters.get_mut(name) {
             Some(c) => *c += delta,
             None => {
-                inner.counters.insert(name.to_string(), delta);
+                counters.insert(name.to_string(), delta);
             }
+        }
+        if let Some(ring) = events.as_mut() {
+            ring.record(EventKind::Counter, name, delta);
         }
     }
 
@@ -199,9 +318,23 @@ impl Registry {
         let slot = inner.intern_child(parent, label);
         inner.stack.push(slot);
         let depth = inner.stack.len();
+        let Inner {
+            span_paths, events, ..
+        } = &mut *inner;
+        // One clock read serves both the aggregate timer and the begin
+        // event's timestamp.
+        let start = Instant::now();
+        if let Some(ring) = events.as_mut() {
+            ring.record_at(
+                crate::events::ts_ns_at(start),
+                EventKind::SpanBegin,
+                &span_paths[slot],
+                0,
+            );
+        }
         SpanGuard {
             reg: self,
-            start: Some(Instant::now()),
+            start: Some(start),
             depth,
             slot,
         }
@@ -210,6 +343,8 @@ impl Registry {
     /// Records an externally timed duration against a span path — for
     /// regions where an RAII guard cannot live (e.g. around a closure
     /// that needs exclusive access to the structure owning the registry).
+    /// No flight-recorder events are emitted: the region's begin time is
+    /// unknown by construction.
     pub fn record_ns(&self, path: &str, d: Duration) {
         if !self.enabled {
             return;
@@ -218,13 +353,16 @@ impl Registry {
         let slot = inner.intern_full(path);
         let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
         inner.span_stats[slot].record(ns);
+        inner.span_hists[slot].observe(ns);
     }
 
     /// Folds `other` into `self`. Merged data combines regardless of
     /// either registry's enablement (enablement only gates recording).
     pub fn merge(&self, other: Registry) {
-        let other = other.inner.into_inner();
+        let mut other = other.inner.into_inner();
         let other_spans = other.spans_by_path();
+        let other_hists = other.span_hists_by_path();
+        let other_ring = other.events.take().map(EventRing::into_parts);
         let mut inner = self.inner.borrow_mut();
         for (k, v) in other.counters {
             *inner.counters.entry(k).or_insert(0) += v;
@@ -248,6 +386,19 @@ impl Registry {
             let slot = inner.intern_full(&path);
             inner.span_stats[slot].merge(&stats);
         }
+        for (path, hist) in other_hists {
+            let slot = inner.intern_full(&path);
+            inner.span_hists[slot].merge(&hist);
+        }
+        // Fold the shard's ring (and anything it had itself merged) into
+        // the unbounded merged-event store; the global timeline is the
+        // union of every worker's surviving window.
+        if let Some((labels, events, overwritten)) = other_ring {
+            inner.fold_events(&labels, events, overwritten);
+        }
+        let merged_labels = std::mem::take(&mut other.merged_labels);
+        let merged_events = std::mem::take(&mut other.merged_events);
+        inner.fold_events(&merged_labels, merged_events, other.merged_overwritten);
     }
 
     /// Current value of a counter (0 when absent).
@@ -283,10 +434,34 @@ impl Registry {
             gauges: inner.gauges.clone(),
             histograms: inner.histograms.clone(),
             spans: inner.spans_by_path(),
+            span_durations: inner.span_hists_by_path(),
         }
     }
 
-    fn close_span(&self, depth: usize, slot: usize, elapsed: Duration) {
+    /// The global event timeline: this registry's own ring plus every
+    /// ring folded in through [`Registry::merge`], label-resolved and
+    /// sorted by `(timestamp, worker, seq)`.
+    pub fn timeline(&self) -> Timeline {
+        let inner = self.inner.borrow();
+        let mut labels = inner.merged_labels.clone();
+        let mut events = inner.merged_events.clone();
+        let mut overwritten = inner.merged_overwritten;
+        if let Some(ring) = inner.events.as_ref() {
+            let (own_labels, own_events, own_overwritten) = ring.parts();
+            let remap: Vec<u32> = own_labels
+                .iter()
+                .map(|l| intern_label(&mut labels, l))
+                .collect();
+            events.extend(own_events.into_iter().map(|mut e| {
+                e.label = remap[e.label as usize];
+                e
+            }));
+            overwritten += own_overwritten;
+        }
+        Timeline::new(labels, events, overwritten)
+    }
+
+    fn close_span(&self, depth: usize, slot: usize, start: Instant, elapsed: Duration) {
         let mut inner = self.inner.borrow_mut();
         // Guards normally drop innermost-first; truncating below this
         // guard's depth also closes any leaked inner spans, and a guard
@@ -295,6 +470,16 @@ impl Registry {
         inner.stack.truncate(depth.saturating_sub(1));
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         inner.span_stats[slot].record(ns);
+        inner.span_hists[slot].observe(ns);
+        let Inner {
+            span_paths, events, ..
+        } = &mut *inner;
+        if let Some(ring) = events.as_mut() {
+            // End timestamp derived from begin + elapsed: closing a span
+            // costs no additional clock read.
+            let end_ts = crate::events::ts_ns_at(start).saturating_add(ns);
+            ring.record_at(end_ts, EventKind::SpanEnd, &span_paths[slot], 0);
+        }
     }
 }
 
@@ -309,7 +494,8 @@ pub struct SpanGuard<'a> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            self.reg.close_span(self.depth, self.slot, start.elapsed());
+            self.reg
+                .close_span(self.depth, self.slot, start, start.elapsed());
         }
     }
 }
@@ -325,6 +511,10 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, Histogram>,
     /// Aggregated spans keyed by `parent/…/label` path.
     pub spans: BTreeMap<String, SpanStats>,
+    /// Per-path span duration histograms (nanoseconds), sharing bucket
+    /// bounds with every other [`Histogram`] so table quantiles and the
+    /// Prometheus exposition can never disagree.
+    pub span_durations: BTreeMap<String, Histogram>,
 }
 
 #[cfg(test)]
@@ -341,7 +531,9 @@ mod tests {
             let _s = r.span("outer");
         }
         r.record_ns("manual", Duration::from_millis(1));
+        r.mark("m");
         assert_eq!(r.snapshot(), Snapshot::default());
+        assert!(r.timeline().events.is_empty());
     }
 
     #[test]
@@ -379,6 +571,9 @@ mod tests {
         // Parent wall-clock covers its children.
         assert!(snap.spans["a"].total_ns >= snap.spans["a/b"].total_ns);
         assert!(snap.spans["a/b"].total_ns >= snap.spans["a/b/c"].total_ns);
+        // Duration histograms track the same paths and call counts.
+        assert_eq!(snap.span_durations["a"].count(), 2);
+        assert_eq!(snap.span_durations["a/b"].count(), 3);
     }
 
     #[test]
@@ -407,13 +602,17 @@ mod tests {
         }
         let snap = r.snapshot();
         assert_eq!(snap.spans["shard"].calls, 2);
+        assert_eq!(snap.span_durations["shard"].count(), 2);
         assert_eq!(r.span_stats("shard").unwrap().calls, 2);
     }
 
     #[test]
     fn merge_is_associative_and_commutative() {
         let build = |counts: &[(&str, u64)], span_ns: &[(&str, u64)]| {
-            let r = Registry::with_enabled(true);
+            // Event capacity 0: wall-clock event timestamps are
+            // run-dependent, so only the aggregate sections take part in
+            // the snapshot-equality check.
+            let r = Registry::with_event_capacity(true, 0);
             for &(k, v) in counts {
                 r.add(k, v);
                 r.observe("values", v);
@@ -441,6 +640,7 @@ mod tests {
         assert_eq!(left.counter("x"), 3);
         assert_eq!(left.counter("y"), 13);
         assert_eq!(left.snapshot().spans["s"].calls, 2);
+        assert_eq!(left.snapshot().span_durations["s"].count(), 2);
     }
 
     #[test]
@@ -456,5 +656,75 @@ mod tests {
         let _after = r.span("after");
         drop(_after);
         assert!(r.snapshot().spans.contains_key("after"));
+    }
+
+    #[test]
+    fn spans_and_counters_emit_events() {
+        let r = Registry::with_event_capacity(true, 64);
+        assert!(r.events_enabled());
+        r.set_worker(3);
+        r.begin_stream(77);
+        {
+            let _s = r.span("work");
+            r.add("n", 5);
+        }
+        r.end_stream();
+        r.mark("done");
+        let t = r.timeline();
+        let kinds: Vec<(EventKind, &str)> = t
+            .events
+            .iter()
+            .map(|e| (e.kind, t.label(e)))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (EventKind::SpanBegin, "work"),
+                (EventKind::Counter, "n"),
+                (EventKind::SpanEnd, "work"),
+                (EventKind::Mark, "done"),
+            ]
+        );
+        assert!(t.events.iter().all(|e| e.worker == 3));
+        assert_eq!(t.events[0].stream, 77);
+        assert_eq!(t.events[3].stream, 0, "mark is outside the stream");
+    }
+
+    #[test]
+    fn merge_folds_event_rings_into_one_timeline() {
+        let target = Registry::with_event_capacity(true, 16);
+        target.set_worker(0);
+        target.mark("driver");
+        for w in 1..=2u32 {
+            let shard = Registry::with_event_capacity(true, 16);
+            shard.set_worker(w);
+            shard.begin_stream(u64::from(w) * 100);
+            let _s = shard.span("ingest");
+            drop(_s);
+            shard.end_stream();
+            target.merge(shard);
+        }
+        let t = target.timeline();
+        assert_eq!(t.events.len(), 5, "1 driver mark + 2×(begin+end)");
+        let workers: std::collections::BTreeSet<u32> =
+            t.events.iter().map(|e| e.worker).collect();
+        assert_eq!(workers.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        // Chained merges preserve already-folded events.
+        let outer = Registry::with_event_capacity(true, 16);
+        outer.merge(target);
+        assert_eq!(outer.timeline().events.len(), 5);
+    }
+
+    #[test]
+    fn event_capacity_zero_disables_events_only() {
+        let r = Registry::with_event_capacity(true, 0);
+        assert!(!r.events_enabled());
+        r.add("c", 1);
+        {
+            let _s = r.span("a");
+        }
+        assert!(r.timeline().events.is_empty());
+        assert_eq!(r.counter("c"), 1);
+        assert_eq!(r.snapshot().spans["a"].calls, 1);
     }
 }

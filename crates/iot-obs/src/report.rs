@@ -28,15 +28,19 @@ pub struct RunReport {
     /// Free-form metadata pairs, in insertion order.
     pub meta: Vec<(String, String)>,
     snapshot: Snapshot,
+    /// Flight-recorder volume: (events retained, events overwritten).
+    events: (u64, u64),
 }
 
 impl RunReport {
     /// Snapshots `reg` into a report named `name`.
     pub fn from_registry(name: &str, reg: &Registry) -> Self {
+        let timeline = reg.timeline();
         RunReport {
             name: name.to_string(),
             meta: Vec::new(),
             snapshot: reg.snapshot(),
+            events: (timeline.events.len() as u64, timeline.overwritten),
         }
     }
 
@@ -56,9 +60,20 @@ impl RunReport {
         }
         j.set("meta", meta);
         j.set("process", crate::process::snapshot_json());
+        let mut events = Json::obj();
+        events.set("recorded", self.events.0.to_json());
+        events.set("overwritten", self.events.1.to_json());
+        j.set("events", events);
         let mut spans = Json::obj();
         for (path, stats) in &self.snapshot.spans {
-            spans.set(path, stats.to_json());
+            let mut s = stats.to_json();
+            // Quantiles come from the per-path duration histogram —
+            // the same buckets the Prometheus exporter emits.
+            if let Some((p50, p95)) = self.span_quantiles_ms(path) {
+                s.set("p50_ms", p50.to_json());
+                s.set("p95_ms", p95.to_json());
+            }
+            spans.set(path, s);
         }
         j.set("spans", spans);
         j.set("counters", self.counters_json());
@@ -97,15 +112,30 @@ impl RunReport {
         hists
     }
 
+    /// Per-call p50/p95 of a span path in milliseconds, derived from the
+    /// duration histogram's bucket bounds (nearest-rank on the inclusive
+    /// upper bound — identical to what a Prometheus query over the
+    /// exported `iot_span_duration_ns` buckets resolves to).
+    pub fn span_quantiles_ms(&self, path: &str) -> Option<(f64, f64)> {
+        let h = self.snapshot.span_durations.get(path)?;
+        let p50 = h.quantile_upper_bound(0.5)? as f64 / 1e6;
+        let p95 = h.quantile_upper_bound(0.95)? as f64 / 1e6;
+        Some((p50, p95))
+    }
+
     /// Renders the spans as an aligned text table: one row per label
-    /// path, with the percentage column relative to the total wall-clock
-    /// of the top-level (un-nested) spans.
+    /// path with call count, total/mean wall-clock, histogram-derived
+    /// per-call p50/p95, and the percentage column relative to the total
+    /// wall-clock of the top-level (un-nested) spans.
     pub fn stage_table(&self) -> String {
-        let rows: Vec<(String, u64, f64, f64)> = self
+        let rows: Vec<(String, u64, f64, f64, f64, f64)> = self
             .snapshot
             .spans
             .iter()
-            .map(|(p, s)| (p.clone(), s.calls, s.total_ms(), s.mean_ms()))
+            .map(|(p, s)| {
+                let (p50, p95) = self.span_quantiles_ms(p).unwrap_or((0.0, 0.0));
+                (p.clone(), s.calls, s.total_ms(), s.mean_ms(), p50, p95)
+            })
             .collect();
         let root_total_ms: f64 = self
             .snapshot
@@ -122,17 +152,18 @@ impl RunReport {
             .unwrap_or(5);
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<name_w$}  {:>9}  {:>12}  {:>10}  {:>6}\n",
-            "stage", "calls", "total_ms", "mean_ms", "%"
+            "{:<name_w$}  {:>9}  {:>12}  {:>10}  {:>10}  {:>10}  {:>6}\n",
+            "stage", "calls", "total_ms", "mean_ms", "p50_ms", "p95_ms", "%"
         ));
-        for (path, calls, total, mean) in rows {
+        for (path, calls, total, mean, p50, p95) in rows {
             let pct = if root_total_ms > 0.0 {
                 total * 100.0 / root_total_ms
             } else {
                 0.0
             };
             out.push_str(&format!(
-                "{path:<name_w$}  {calls:>9}  {total:>12.3}  {mean:>10.4}  {pct:>6.1}\n"
+                "{path:<name_w$}  {calls:>9}  {total:>12.3}  {mean:>10.4}  \
+                 {p50:>10.4}  {p95:>10.4}  {pct:>6.1}\n"
             ));
         }
         out

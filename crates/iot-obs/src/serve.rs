@@ -1,0 +1,241 @@
+//! Live telemetry over HTTP, std-only.
+//!
+//! A minimal GET-only server on `std::net::TcpListener` exposing three
+//! routes:
+//!
+//! * `/metrics` — the latest published registry snapshot in Prometheus
+//!   text exposition format (scrapeable by a stock Prometheus).
+//! * `/trace` — the latest published timeline as Chrome trace-event
+//!   JSON (loadable in Perfetto while the campaign is still running).
+//! * `/progress` — run progress as JSON: the published ingest ledger
+//!   and experiment counts, composed at request time with the *live*
+//!   process-wide generator counters, so the numbers move while workers
+//!   are mid-shard.
+//!
+//! ## Publication model
+//!
+//! Workers never touch the server: the pipeline publishes rendered
+//! documents ([`publish`]) at shard-fold boundaries (run start, each
+//! shard fold, finish), so the hot path stays lock-free and the server
+//! only ever holds three strings behind one mutex. Requests between
+//! publications see the previous snapshot — the flight-recorder
+//! trade-off, not a consistency bug.
+//!
+//! ## Security posture
+//!
+//! Off by default; enabled only by `IOT_OBS_SERVE=addr` or an explicit
+//! [`start`]. Bind to `127.0.0.1:<port>` unless you mean to expose it.
+//! The parser accepts only `GET`, reads at most one small request head,
+//! never parses a request body, and closes every connection after one
+//! response. There is no TLS and no authentication — this is a
+//! lab-network diagnostic port, not a public API.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Largest request head we will read before answering 400.
+const MAX_REQUEST_BYTES: usize = 4096;
+
+#[derive(Default)]
+struct Published {
+    metrics: String,
+    trace: String,
+    progress: String,
+}
+
+static PUBLISHED: OnceLock<Mutex<Published>> = OnceLock::new();
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn published() -> &'static Mutex<Published> {
+    PUBLISHED.get_or_init(|| Mutex::new(Published::default()))
+}
+
+/// Whether a server is running — pipelines use this to skip snapshot
+/// rendering entirely when nobody is listening.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Publishes the three documents the routes serve. Cheap string swaps
+/// under one mutex; call at fold boundaries, not per experiment.
+pub fn publish(metrics: String, trace: String, progress: String) {
+    let mut p = published().lock().unwrap_or_else(|e| e.into_inner());
+    p.metrics = metrics;
+    p.trace = trace;
+    p.progress = progress;
+}
+
+/// Starts the server on `addr` (e.g. `127.0.0.1:0` for an ephemeral
+/// port) and returns the bound address. The accept loop runs on a
+/// detached thread for the rest of the process lifetime.
+pub fn start(addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    ACTIVE.store(true, Ordering::Relaxed);
+    std::thread::Builder::new()
+        .name("iot-obs-serve".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if let Ok(stream) = conn {
+                    // One wedged client must not hold the accept loop.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    let _ = handle(stream);
+                }
+            }
+        })?;
+    Ok(bound)
+}
+
+/// Starts the server on the `IOT_OBS_SERVE` address if configured and
+/// not already running. Bind failures are reported to stderr, never
+/// fatal — telemetry must not take down a measurement run.
+pub fn maybe_start_from_env() -> Option<SocketAddr> {
+    static STARTED: OnceLock<Option<SocketAddr>> = OnceLock::new();
+    *STARTED.get_or_init(|| {
+        let addr = crate::config::global().serve_addr.as_deref()?;
+        match start(addr) {
+            Ok(bound) => {
+                crate::progress!("iot-obs: serving /metrics /trace /progress on {bound}");
+                Some(bound)
+            }
+            Err(e) => {
+                eprintln!("iot-obs: IOT_OBS_SERVE bind {addr} failed: {e}");
+                None
+            }
+        }
+    })
+}
+
+/// Reads the request head (first line is enough; we never read bodies).
+fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(2).any(|w| w == b"\r\n") || buf.contains(&b'\n') {
+                    break;
+                }
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    let line_end = buf.iter().position(|&b| b == b'\n')?;
+    String::from_utf8(buf[..line_end].to_vec())
+        .ok()
+        .map(|l| l.trim_end_matches('\r').to_string())
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+fn handle(mut stream: TcpStream) -> std::io::Result<()> {
+    let Some(line) = read_request_line(&mut stream) else {
+        respond(&mut stream, "400 Bad Request", "text/plain", "bad request\n");
+        return Ok(());
+    };
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        );
+        return Ok(());
+    }
+    // Ignore any query string; the routes take no parameters.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => {
+            let body = {
+                let p = published().lock().unwrap_or_else(|e| e.into_inner());
+                p.metrics.clone()
+            };
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4",
+                &body,
+            );
+        }
+        "/trace" => {
+            let body = {
+                let p = published().lock().unwrap_or_else(|e| e.into_inner());
+                if p.trace.is_empty() {
+                    "{\"traceEvents\":[]}".to_string()
+                } else {
+                    p.trace.clone()
+                }
+            };
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        "/progress" => {
+            let progress = {
+                let p = published().lock().unwrap_or_else(|e| e.into_inner());
+                if p.progress.is_empty() {
+                    "{}".to_string()
+                } else {
+                    p.progress.clone()
+                }
+            };
+            // Compose the published ledger with the live process
+            // counters at request time — the latter tick during a run.
+            let body = format!(
+                "{{\"progress\":{progress},\"process\":{}}}\n",
+                crate::process::snapshot_json().dump()
+            );
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        _ => {
+            respond(
+                &mut stream,
+                "404 Not Found",
+                "text/plain",
+                "routes: /metrics /trace /progress\n",
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Full request/response coverage lives in tests/serve_http.rs (one
+    // process-global server per test binary); here only the pure pieces.
+    #[test]
+    fn publish_then_read_back() {
+        publish("m".into(), "t".into(), "{\"x\":1}".into());
+        let p = published().lock().unwrap();
+        assert_eq!(p.metrics, "m");
+        assert_eq!(p.trace, "t");
+        assert_eq!(p.progress, "{\"x\":1}");
+    }
+
+    #[test]
+    fn inactive_until_started() {
+        // `start` is never called in this unit-test process before this
+        // assertion unless another test raced it; both orders are legal,
+        // so only assert the flag is readable.
+        let _ = active();
+    }
+}

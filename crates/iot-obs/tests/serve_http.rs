@@ -1,0 +1,135 @@
+//! HTTP endpoint integration test, driven over real sockets.
+//!
+//! The server, its `ACTIVE` flag, and the published documents are
+//! process-global, so this file holds exactly one test: it starts one
+//! server on an ephemeral localhost port and walks every route and
+//! error path sequentially. Raw `TcpStream` requests (no HTTP client
+//! dependency) assert on status line, headers, and body.
+
+use iot_core::json::Json;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Sends one raw request head and returns `(status_line, headers, body)`.
+fn request(addr: SocketAddr, head: &str) -> (String, Vec<(String, String)>, String) {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(format!("{head}\r\nHost: localhost\r\n\r\n").as_bytes())
+        .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head_part, body) = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator");
+    let mut lines = head_part.lines();
+    let status = lines.next().unwrap_or_default().to_string();
+    let headers = lines
+        .filter_map(|l| l.split_once(": "))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (String, Vec<(String, String)>, String) {
+    request(addr, &format!("GET {path} HTTP/1.1"))
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn endpoint_serves_published_documents() {
+    let addr = iot_obs::serve::start("127.0.0.1:0").expect("bind ephemeral port");
+    assert!(iot_obs::serve::active(), "start must raise the active flag");
+
+    let metrics_doc = "# TYPE iot_experiments_total counter\niot_experiments_total 7\n";
+    let trace_doc =
+        "{\"traceEvents\":[{\"name\":\"ingest\",\"ph\":\"B\",\"ts\":1.5,\"pid\":1,\"tid\":2}]}";
+    let progress_doc = "{\"phase\":\"folded\",\"experiments\":7}";
+    iot_obs::serve::publish(
+        metrics_doc.to_string(),
+        trace_doc.to_string(),
+        progress_doc.to_string(),
+    );
+
+    // /metrics: exact published bytes, scrape-ready content type,
+    // accurate Content-Length.
+    let (status, headers, body) = get(addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(
+        header(&headers, "content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    assert_eq!(body, metrics_doc);
+    assert_eq!(
+        header(&headers, "content-length").and_then(|v| v.parse::<usize>().ok()),
+        Some(body.len())
+    );
+    assert_eq!(header(&headers, "connection"), Some("close"));
+
+    // /trace: the published Chrome trace, parseable as JSON; a query
+    // string is ignored.
+    let (status, headers, body) = get(addr, "/trace?window=1");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(header(&headers, "content-type"), Some("application/json"));
+    let trace = Json::parse(&body).expect("/trace body must be JSON");
+    let events = trace.get("traceEvents").and_then(Json::items).unwrap();
+    assert_eq!(events.len(), 1);
+    assert_eq!(
+        events[0].get("name").and_then(Json::as_str),
+        Some("ingest")
+    );
+
+    // /progress: the published ledger composed with the live process
+    // counters at request time.
+    let (status, _, body) = get(addr, "/progress");
+    assert!(status.contains("200"), "{status}");
+    let progress = Json::parse(body.trim()).expect("/progress body must be JSON");
+    assert_eq!(
+        progress
+            .get("progress")
+            .and_then(|p| p.get("phase"))
+            .and_then(Json::as_str),
+        Some("folded")
+    );
+    assert!(
+        progress.get("process").is_some(),
+        "live process counters must be composed in"
+    );
+
+    // Error paths: unknown route, non-GET method, empty request.
+    let (status, _, body) = get(addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+    assert!(body.contains("/metrics"), "404 body lists routes: {body}");
+    let (status, _, _) = request(addr, "POST /metrics HTTP/1.1");
+    assert!(status.contains("405"), "{status}");
+    let status = {
+        // A client that connects and hangs up without a request line.
+        let mut stream =
+            TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response.lines().next().unwrap_or_default().to_string()
+    };
+    assert!(status.contains("400"), "{status}");
+
+    // Before any publication after a reset, /trace and /progress fall
+    // back to well-formed empty documents instead of empty bodies.
+    iot_obs::serve::publish(String::new(), String::new(), String::new());
+    let (_, _, body) = get(addr, "/trace");
+    assert_eq!(body, "{\"traceEvents\":[]}");
+    let (_, _, body) = get(addr, "/progress");
+    let progress = Json::parse(body.trim()).expect("empty /progress still JSON");
+    assert!(progress.get("progress").is_some());
+}

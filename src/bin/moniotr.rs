@@ -7,6 +7,8 @@
 //! moniotr capture <device> [uk] [vpn] [DIR]    run power + all interactions → pcap dir
 //! moniotr analyze <device-dir>                 destinations / encryption / PII per label
 //! moniotr idle <device> <hours>                idle capture + traffic-unit summary
+//! moniotr campaign [quick|medium|full] [workers N] [--serve ADDR] [--trace-out PATH]
+//!                                              full instrumented campaign + telemetry
 //! ```
 
 use intl_iot::analysis::encryption::{classify_flow, ClassBytes};
@@ -31,10 +33,12 @@ fn main() -> ExitCode {
         Some("capture") => cmd_capture(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("idle") => cmd_idle(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         _ => {
             eprintln!(
                 "usage: moniotr devices\n       moniotr capture <device> [uk] [vpn] [out-dir]\n       \
-                 moniotr analyze <device-dir>\n       moniotr idle <device> <hours>"
+                 moniotr analyze <device-dir>\n       moniotr idle <device> <hours>\n       \
+                 moniotr campaign [quick|medium|full] [workers N] [--serve ADDR] [--trace-out PATH]"
             );
             return ExitCode::from(2);
         }
@@ -218,6 +222,104 @@ fn cmd_analyze(args: &[String]) -> CliResult {
                 pii.into_iter().collect::<Vec<_>>().join(", ")
             }
         );
+    }
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> CliResult {
+    use iot_bench::{campaign_config, Scale};
+    use intl_iot::analysis::pipeline::Pipeline;
+    use intl_iot::obs::{chrome_trace, RunReport, TraceMode};
+
+    let mut scale = Scale::Quick;
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut serve_addr: Option<String> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "quick" => scale = Scale::Quick,
+            "medium" => scale = Scale::Medium,
+            "full" => scale = Scale::Full,
+            "workers" => {
+                workers = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("campaign: workers requires a positive count")?;
+            }
+            "--serve" => {
+                serve_addr = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or("campaign: --serve requires an address, e.g. 127.0.0.1:9100")?,
+                );
+            }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    it.next()
+                        .ok_or("campaign: --trace-out requires a path")?,
+                ));
+            }
+            other => return Err(format!("campaign: unknown argument {other:?}").into()),
+        }
+    }
+
+    // An explicit --serve starts the endpoint before the run so every
+    // fold-boundary publication is scrapeable; without it the pipeline
+    // still honors IOT_OBS_SERVE.
+    let held = match &serve_addr {
+        Some(addr) => {
+            let bound = intl_iot::obs::serve::start(addr)?;
+            println!("telemetry: /metrics /trace /progress on http://{bound}");
+            true
+        }
+        None => false,
+    };
+
+    let config = campaign_config(scale);
+    println!(
+        "campaign: scale={} workers={workers} (obs on)",
+        scale.name()
+    );
+    let mut p = Pipeline::with_obs(true);
+    p.run_campaign_parallel(config, workers);
+    let (report, reg) = p.finish_with_obs();
+
+    let obs_report = RunReport::from_registry("campaign", &reg)
+        .meta("scale", scale.name())
+        .meta("workers", &workers.to_string());
+    println!("{}", obs_report.stage_table());
+    let ingest = &report.ingest;
+    println!(
+        "campaign: {} experiments ({} quarantined), {} packets generated, \
+         {} ingested, ledger {}",
+        report.experiments,
+        ingest.experiments_quarantined,
+        ingest.packets_generated,
+        ingest.packets_ingested,
+        if ingest.reconciles() { "reconciles" } else { "DOES NOT RECONCILE" }
+    );
+    let (d, total) = report.devices_with_non_first;
+    println!("campaign: {d}/{total} devices contacted non-first parties");
+
+    if let Some(path) = trace_out {
+        let trace = chrome_trace(&reg.timeline(), TraceMode::Wall).dump();
+        std::fs::write(&path, &trace)?;
+        println!(
+            "campaign: wrote Chrome trace to {} ({} bytes; load at ui.perfetto.dev)",
+            path.display(),
+            trace.len()
+        );
+    }
+
+    if held {
+        println!("campaign: done — final snapshots stay scrapeable; Ctrl-C to exit");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
     }
     Ok(())
 }

@@ -9,9 +9,17 @@
 #    bench_pipeline exits non-zero if the parallel report diverges from
 #    the serial one, so divergence fails this script.
 # 3. obs_check: the observability smoke test — the run report must parse,
-#    its stage counters must be non-zero, and the measured
-#    instrumentation overhead must stay under 5%.
-# 4. chaos_check: the fault-injection smoke test — a seeded sweep of
+#    its stage counters must be non-zero, the measured instrumentation
+#    overhead must stay under 5%, the Chrome trace and Prometheus
+#    artifacts written by the bench must be well-formed, and the
+#    deterministic event trace must have matched across drivers.
+# 4. obs_serve_check: live-telemetry endpoint smoke — /metrics, /trace,
+#    and /progress answered over real sockets during an instrumented
+#    (and lightly faulted) campaign, with the ingest ledger reconciling.
+# 5. bench_trend: appends this run to a scratch copy of the committed
+#    bench history and fails on a >15% serial-median regression against
+#    the recent same-host baseline (cross-host entries are warn-only).
+# 6. chaos_check: the fault-injection smoke test — a seeded sweep of
 #    degraded-capture rates plus an injected-panic stage. Gates: no
 #    escaped panics, byte-identical faulted reports across worker
 #    counts, exact ingest-ledger reconciliation, and bounded headline
@@ -30,7 +38,9 @@ echo "=== workspace tests ==="
 cargo test -q --workspace
 
 echo "=== bench: serial vs parallel pipeline (quick scale, obs on) ==="
-cargo build --release -p iot-bench --bin bench_pipeline --bin obs_check --bin chaos_check
+cargo build --release -p iot-bench \
+  --bin bench_pipeline --bin obs_check --bin obs_serve_check \
+  --bin bench_trend --bin chaos_check
 # Write to scratch paths so routine verification never clobbers the
 # committed BENCH_pipeline.json baseline (regenerate that explicitly
 # with the bench binary's defaults). IOT_OBS=1 makes the run emit the
@@ -40,13 +50,33 @@ cargo build --release -p iot-bench --bin bench_pipeline --bin obs_check --bin ch
 IOT_SCALE=quick IOT_BENCH_ITERS="${IOT_BENCH_ITERS:-3}" \
   IOT_BENCH_OUT="${IOT_BENCH_OUT:-target/verify_bench.json}" \
   IOT_OBS=1 IOT_OBS_OUT="${IOT_OBS_OUT:-target/obs_run.json}" \
+  IOT_OBS_TRACE_OUT="${IOT_OBS_TRACE_OUT:-target/obs_trace.json}" \
+  IOT_OBS_PROM_OUT="${IOT_OBS_PROM_OUT:-target/obs_metrics.prom}" \
   ./target/release/bench_pipeline
 
-echo "=== obs smoke: run report + overhead gate ==="
+echo "=== obs smoke: run report + overhead gate + exporter artifacts ==="
 ./target/release/obs_check \
   "${IOT_OBS_OUT:-target/obs_run.json}" \
   "${IOT_BENCH_OUT:-target/verify_bench.json}" \
-  BENCH_pipeline.json
+  BENCH_pipeline.json \
+  "${IOT_OBS_TRACE_OUT:-target/obs_trace.json}" \
+  "${IOT_OBS_PROM_OUT:-target/obs_metrics.prom}"
+
+echo "=== obs serve: live telemetry endpoint over real sockets ==="
+./target/release/obs_serve_check
+
+echo "=== bench trend: regression gate against recent same-host history ==="
+# Gate against a scratch copy so routine verification never rewrites the
+# committed BENCH_history.jsonl (extend that explicitly by running
+# bench_trend against it).
+if [ -f BENCH_history.jsonl ]; then
+  cp BENCH_history.jsonl target/verify_history.jsonl
+else
+  rm -f target/verify_history.jsonl
+fi
+./target/release/bench_trend \
+  "${IOT_BENCH_OUT:-target/verify_bench.json}" \
+  target/verify_history.jsonl
 
 echo "=== chaos smoke: fault-injection sweep + quarantine gates ==="
 IOT_SCALE=quick \
