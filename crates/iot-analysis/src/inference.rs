@@ -11,7 +11,7 @@ use iot_ml::crossval::{cross_validate, CrossValReport};
 use iot_ml::dataset::Dataset;
 use iot_ml::forest::{RandomForest, RandomForestConfig};
 use iot_testbed::catalog;
-use iot_testbed::device::ActivityKind;
+use iot_testbed::device::{split_interaction_label, ActivityKind};
 use iot_testbed::experiment::LabeledExperiment;
 use iot_testbed::lab::{DeviceInstance, LabSite};
 use iot_testbed::schedule::Campaign;
@@ -115,8 +115,10 @@ pub fn label_activity_kind(device: &str, label: &str) -> Option<ActivityKind> {
     }
     let spec = catalog::by_name(device)?;
     // Labels look like `local_move` / `android_wan_on`; the activity name
-    // is the suffix after the method prefix.
-    let activity = label.rsplit('_').next()?;
+    // is everything after the method prefix. Activity names may contain
+    // underscores themselves (`local_door_open` → `door_open`), so
+    // splitting on the last `_` would truncate them.
+    let (_, activity) = split_interaction_label(label)?;
     spec.activity(activity).map(|a| a.kind)
 }
 
@@ -289,6 +291,16 @@ mod tests {
         );
         assert_eq!(label_activity_kind("Wansview Cam", "local_fly"), None);
         assert_eq!(label_activity_kind("Nonexistent", "local_on"), None);
+    }
+
+    #[test]
+    fn label_kind_mapping_multi_segment_activity() {
+        // `door_open` contains an underscore, so a last-`_` split would
+        // look up the nonexistent activity `open` and report None.
+        assert_eq!(
+            label_activity_kind("Samsung Fridge", "local_door_open"),
+            Some(ActivityKind::Other)
+        );
     }
 
     #[test]

@@ -124,6 +124,42 @@ impl From<PiiKind> for PiiFindingKind {
     }
 }
 
+/// Base64 search patterns for `value` at each of the three alignment
+/// phases of the encoder input. `base64_encode(value)` alone only
+/// matches when the identifier starts at a 3-byte boundary of whatever
+/// the device encoded; a leak like `base64(header + mac)` shifts every
+/// subsequent character. For phase `p` the value is encoded behind `p`
+/// placeholder bytes, then the sextets that mix placeholder or
+/// trailing-payload bits (2 leading chars for phase 1, 3 for phase 2,
+/// and the final char plus padding when the input length isn't a
+/// multiple of 3) are trimmed, leaving only characters fully determined
+/// by the value itself.
+fn base64_phase_patterns(value: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for phase in 0..3usize {
+        let mut padded = vec![0u8; phase];
+        padded.extend_from_slice(value);
+        let mut enc: Vec<u8> = base64_encode(&padded)
+            .bytes()
+            .filter(|&b| b != b'=')
+            .collect();
+        if padded.len() % 3 != 0 {
+            enc.pop();
+        }
+        let skip = match phase {
+            0 => 0,
+            1 => 2,
+            _ => 3,
+        };
+        let pattern: Vec<u8> = enc.into_iter().skip(skip).collect();
+        // Too-short patterns would match unrelated payloads.
+        if pattern.len() >= 4 {
+            out.push(pattern);
+        }
+    }
+    out
+}
+
 /// The search patterns for one device: every identifier in every encoding.
 #[derive(Debug, Clone)]
 pub struct PiiPatterns {
@@ -150,12 +186,11 @@ impl PiiPatterns {
             "hex",
             identity.mac.to_bare_string().into_bytes(),
         ));
-        // …and base64 of the canonical form.
-        patterns.push((
-            PiiFindingKind::MacAddress,
-            "base64",
-            base64_encode(identity.mac.to_string().as_bytes()).into_bytes(),
-        ));
+        // …and base64 of the canonical form, at every alignment phase so
+        // identifiers embedded mid-stream are still found.
+        for pattern in base64_phase_patterns(identity.mac.to_string().as_bytes()) {
+            patterns.push((PiiFindingKind::MacAddress, "base64", pattern));
+        }
         for (kind, value) in [
             (PiiFindingKind::DeviceId, identity.device_id.as_str()),
             (PiiFindingKind::Geolocation, identity.location.as_str()),
@@ -163,7 +198,9 @@ impl PiiPatterns {
         ] {
             patterns.push((kind, "plain", value.as_bytes().to_vec()));
             patterns.push((kind, "hex", hex_encode(value.as_bytes()).into_bytes()));
-            patterns.push((kind, "base64", base64_encode(value.as_bytes()).into_bytes()));
+            for pattern in base64_phase_patterns(value.as_bytes()) {
+                patterns.push((kind, "base64", pattern));
+            }
         }
         PiiPatterns { patterns }
     }
@@ -328,6 +365,53 @@ mod tests {
         let b64 = base64_encode(identity.device_id.as_bytes());
         let hits2 = patterns.search(format!("x{b64}y").as_bytes());
         assert!(hits2.contains(&(PiiFindingKind::DeviceId, "base64")));
+    }
+
+    #[test]
+    fn base64_mac_embedded_mid_payload_detected() {
+        // The device encodes a larger message that *contains* the MAC —
+        // e.g. base64("id=<mac>&fw=1.2") — so the MAC starts at offsets
+        // 1 and 2 of the encoder input and every base64 character after
+        // it is phase-shifted relative to base64(mac) alone.
+        let lab = Lab::deploy(LabSite::Us);
+        let dev = lab.device("Sengled Hub").unwrap();
+        let identity = identity_of(dev);
+        let patterns = PiiPatterns::for_identity(&identity);
+        let mac = identity.mac.to_string();
+        for prefix in ["i", "id"] {
+            let message = format!("{prefix}{mac}&fw=1.2.7");
+            let stream = base64_encode(message.as_bytes());
+            let payload = format!("POST /report {stream} HTTP/1.1");
+            let hits = patterns.search(payload.as_bytes());
+            assert!(
+                hits.contains(&(PiiFindingKind::MacAddress, "base64")),
+                "MAC at encoder offset {} not found in {payload:?}",
+                prefix.len()
+            );
+        }
+    }
+
+    #[test]
+    fn base64_phase_patterns_are_stable_substrings() {
+        // Each phase pattern must appear in the encoding of *any*
+        // message embedding the value at that offset — the trimmed
+        // sextets are exactly the ones that depend on surrounding bytes.
+        let value = b"ab:cd:ef:00:11:22";
+        let pats = base64_phase_patterns(value);
+        assert_eq!(pats.len(), 3);
+        for (phase, pat) in pats.iter().enumerate() {
+            for surround in [&b"xyz"[..], &b"0123456789"[..]] {
+                let mut message = surround[..phase].to_vec();
+                message.extend_from_slice(value);
+                message.extend_from_slice(surround);
+                let enc = base64_encode(&message);
+                assert!(
+                    find_subsequence(enc.as_bytes(), pat).is_some(),
+                    "phase {phase} pattern {:?} missing from {enc}",
+                    String::from_utf8_lossy(pat)
+                );
+            }
+        }
     }
 
     #[test]

@@ -84,7 +84,7 @@ fn experiment_fault_key(exp: &LabeledExperiment) -> u64 {
 }
 
 /// Aggregate report over one campaign run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PipelineReport {
     /// Experiments ingested.
     pub experiments: u64,
@@ -405,6 +405,11 @@ impl Pipeline {
         &self.obs
     }
 
+    /// Experiments successfully ingested so far.
+    pub fn experiments(&self) -> u64 {
+        self.experiments
+    }
+
     /// Arms the fault injector: every capture ingested from now on is
     /// degraded per `plan` and re-read through the lenient salvage path.
     /// Faults are keyed by experiment identity, so serial and parallel
@@ -472,6 +477,45 @@ impl Pipeline {
         }
         // An RAII guard cannot wrap the closure above (it would borrow the
         // shard that ingest mutates), so the shard region is timed by hand.
+        shard.obs.record_ns("shard", start.elapsed());
+        if shard.obs.enabled() {
+            shard.obs.set_gauge("worker.0.experiments", shard.experiments as f64);
+        }
+        self.obs.set_gauge("workers", 1.0);
+        self.absorb(shard);
+        Self::publish_live(&self.obs, self.experiments, &self.ingest, "folded");
+    }
+
+    /// Ingests an arbitrary stream of experiments through the same
+    /// serial shard path as [`Pipeline::run_campaign`] (fault plan,
+    /// quarantine boundary, and ledger included). Device identities are
+    /// resolved from both lab deployments, so any experiment a campaign
+    /// could produce is accepted — in any order. This is the entry point
+    /// the `iot-oracle` metamorphic relations use to replay permuted,
+    /// relabeled, or filtered campaigns.
+    pub fn ingest_experiments<I>(&mut self, experiments: I)
+    where
+        I: IntoIterator<Item = LabeledExperiment>,
+    {
+        iot_obs::serve::maybe_start_from_env();
+        let identities = {
+            let _s = self.obs.span("identities");
+            let mut identities = HashMap::new();
+            for site in LabSite::all() {
+                let lab = iot_testbed::lab::Lab::deploy(site);
+                for d in &lab.devices {
+                    identities.insert((d.spec().name, d.site), identity_of(d));
+                }
+            }
+            identities
+        };
+        let mut shard = PipelineShard::new(self.obs.enabled());
+        shard.obs.set_worker(1);
+        let fault = self.fault;
+        let start = Instant::now();
+        for exp in experiments {
+            shard.ingest(&self.db, &identities, fault.as_ref(), exp);
+        }
         shard.obs.record_ns("shard", start.elapsed());
         if shard.obs.enabled() {
             shard.obs.set_gauge("worker.0.experiments", shard.experiments as f64);
@@ -552,27 +596,69 @@ impl Pipeline {
         self.finish_with_obs().0
     }
 
+    /// Builds the aggregate report from the current accumulator state
+    /// *without* consuming the pipeline. This is the post-pass hook the
+    /// `iot-oracle` correctness harness uses: the report and the live
+    /// accumulators stay available side by side, so invariant checks can
+    /// recompute every derived field and compare.
+    pub fn build_report(&self) -> PipelineReport {
+        let mut support_destinations = HashMap::new();
+        let mut third_destinations = HashMap::new();
+        let mut encryption_mix = HashMap::new();
+        for site in LabSite::all() {
+            let ctx = ColumnCtx {
+                site,
+                vpn: false,
+                common_only: false,
+            };
+            support_destinations.insert(
+                site.name().to_string(),
+                self.destinations.unique_destinations_total(ctx, PartyType::Support),
+            );
+            third_destinations.insert(
+                site.name().to_string(),
+                self.destinations.unique_destinations_total(ctx, PartyType::Third),
+            );
+            let mut agg = crate::encryption::ClassBytes::default();
+            for (_, cb) in self.encryption.device_bytes(site, false) {
+                agg.merge(&cb);
+            }
+            encryption_mix.insert(
+                site.name().to_string(),
+                [
+                    agg.percent(EncryptionClass::LikelyUnencrypted),
+                    agg.percent(EncryptionClass::LikelyEncrypted),
+                    agg.percent(EncryptionClass::Unknown),
+                ],
+            );
+        }
+        // Findings accumulate in driver-dependent order; sort for stable
+        // report bytes (see PiiFinding::sort_key).
+        let mut pii_findings = self.pii.clone();
+        pii_findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        PipelineReport {
+            experiments: self.experiments,
+            support_destinations,
+            third_destinations,
+            devices_with_non_first: self.destinations.devices_with_non_first_party(),
+            encryption_mix,
+            pii_findings,
+            ingest: self.ingest.clone(),
+        }
+    }
+
     /// Builds the aggregate report and hands back the merged metric
     /// registry, from which callers emit an `iot_obs::RunReport`. Also
     /// records corpus-level counters (`bytes_unencrypted` / `_encrypted`
     /// / `_unknown`) so the byte mix survives into the run report.
     pub fn finish_with_obs(self) -> (PipelineReport, Registry) {
-        let Pipeline {
-            db: _,
-            destinations,
-            encryption,
-            pii,
-            ingest,
-            experiments,
-            fault: _,
-            obs,
-        } = self;
         let start = Instant::now();
-        if obs.enabled() {
-            let mix = encryption.total_bytes_by_class();
-            obs.add("bytes_unencrypted", mix.unencrypted);
-            obs.add("bytes_encrypted", mix.encrypted);
-            obs.add("bytes_unknown", mix.unknown);
+        if self.obs.enabled() {
+            let ingest = &self.ingest;
+            let mix = self.encryption.total_bytes_by_class();
+            self.obs.add("bytes_unencrypted", mix.unencrypted);
+            self.obs.add("bytes_encrypted", mix.encrypted);
+            self.obs.add("bytes_unknown", mix.unknown);
             // Mirror the ingest ledger as counters, nonzero values only:
             // a clean run's metric report keeps exactly its pre-chaos
             // counter set, while any degradation becomes visible to the
@@ -595,56 +681,15 @@ impl Pipeline {
                 ("ingest.shards_quarantined", ingest.shards_quarantined),
             ] {
                 if value > 0 {
-                    obs.add(name, value);
+                    self.obs.add(name, value);
                 }
             }
             for (stage, n) in &ingest.stage_errors {
-                obs.add(&format!("ingest.errors.{stage}"), *n);
+                self.obs.add(&format!("ingest.errors.{stage}"), *n);
             }
         }
-        let mut support_destinations = HashMap::new();
-        let mut third_destinations = HashMap::new();
-        let mut encryption_mix = HashMap::new();
-        for site in LabSite::all() {
-            let ctx = ColumnCtx {
-                site,
-                vpn: false,
-                common_only: false,
-            };
-            support_destinations.insert(
-                site.name().to_string(),
-                destinations.unique_destinations_total(ctx, PartyType::Support),
-            );
-            third_destinations.insert(
-                site.name().to_string(),
-                destinations.unique_destinations_total(ctx, PartyType::Third),
-            );
-            let mut agg = crate::encryption::ClassBytes::default();
-            for (_, cb) in encryption.device_bytes(site, false) {
-                agg.merge(&cb);
-            }
-            encryption_mix.insert(
-                site.name().to_string(),
-                [
-                    agg.percent(EncryptionClass::LikelyUnencrypted),
-                    agg.percent(EncryptionClass::LikelyEncrypted),
-                    agg.percent(EncryptionClass::Unknown),
-                ],
-            );
-        }
-        // Findings accumulate in driver-dependent order; sort for stable
-        // report bytes (see PiiFinding::sort_key).
-        let mut pii_findings = pii;
-        pii_findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
-        let report = PipelineReport {
-            experiments,
-            support_destinations,
-            third_destinations,
-            devices_with_non_first: destinations.devices_with_non_first_party(),
-            encryption_mix,
-            pii_findings,
-            ingest,
-        };
+        let report = self.build_report();
+        let obs = self.obs;
         obs.record_ns("finish", start.elapsed());
         Self::publish_live(&obs, report.experiments, &report.ingest, "finished");
         (report, obs)
@@ -777,6 +822,35 @@ mod tests {
             plain_json, armed_json,
             "an all-zero-rate plan must be an exact identity"
         );
+    }
+
+    #[test]
+    fn build_report_matches_finish_and_leaves_pipeline_usable() {
+        let mut p = Pipeline::new();
+        p.run_campaign(tiny_config());
+        let pre = p.build_report().to_json().dump();
+        // The pipeline is still alive: accumulators remain inspectable
+        // and a second build is identical.
+        assert!(p.experiments() > 0);
+        assert_eq!(p.build_report().to_json().dump(), pre);
+        assert_eq!(p.finish().to_json().dump(), pre);
+    }
+
+    #[test]
+    fn ingest_experiments_matches_run_campaign() {
+        let config = tiny_config();
+        let mut baseline = Pipeline::new();
+        baseline.run_campaign(config);
+        let baseline_json = baseline.finish().to_json().dump();
+
+        let db = GeoDb::new();
+        let campaign = Campaign::new(config);
+        let mut experiments = Vec::new();
+        campaign.run(&db, &mut |exp| experiments.push(exp));
+        campaign.run_idle(&db, &mut |exp| experiments.push(exp));
+        let mut replay = Pipeline::new();
+        replay.ingest_experiments(experiments);
+        assert_eq!(replay.finish().to_json().dump(), baseline_json);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::features::extract_features;
 use crate::inference::{TrainedDeviceModel, F1_HIGH_CONFIDENCE};
 use iot_net::packet::Packet;
+use iot_testbed::device::split_interaction_label;
 use iot_testbed::user_study::StudyEvent;
 use std::collections::HashMap;
 
@@ -35,12 +36,19 @@ pub struct Detection {
 
 /// Splits a time-ordered capture into traffic units separated by gaps
 /// greater than `gap_seconds`.
+///
+/// A timestamp regression (clock skew, merged captures, chaos-degraded
+/// records) makes the real gap at that point unknowable; it is treated
+/// as a unit boundary rather than silently fused — `saturating_sub`
+/// would report a zero gap and merge units across a real idle period.
 pub fn segment_units(packets: &[Packet], gap_seconds: f64) -> Vec<&[Packet]> {
     let gap_micros = (gap_seconds * 1e6) as u64;
     let mut units = Vec::new();
     let mut start = 0usize;
     for i in 1..packets.len() {
-        if packets[i].ts_micros.saturating_sub(packets[i - 1].ts_micros) > gap_micros {
+        let prev = packets[i - 1].ts_micros;
+        let cur = packets[i].ts_micros;
+        if cur < prev || cur - prev > gap_micros {
             units.push(&packets[start..i]);
             start = i;
         }
@@ -114,6 +122,11 @@ pub struct StudyMatchReport {
 
 /// Matches detections for one device against its ground-truth events,
 /// using a `window_secs` tolerance.
+///
+/// Events are consumed one-to-one: each detection greedily claims the
+/// nearest-in-time unconsumed event for its activity inside the window,
+/// so one study event can never corroborate several detections (which
+/// would inflate the matched counts past the number of real actions).
 pub fn match_against_ground_truth(
     device_name: &str,
     detections: &[Detection],
@@ -125,15 +138,31 @@ pub fn match_against_ground_truth(
         .iter()
         .filter(|e| e.device_name == device_name)
         .collect();
+    let mut consumed = vec![false; mine.len()];
     let mut report = StudyMatchReport::default();
     for d in detections {
-        let activity = d.label.rsplit('_').next().unwrap_or(&d.label);
-        let matched = mine.iter().find(|e| {
-            e.at_micros.abs_diff(d.at_micros) <= window && e.activity == activity
-        });
+        let activity = split_interaction_label(&d.label)
+            .map(|(_, a)| a)
+            .unwrap_or(&d.label);
+        let matched = mine
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| {
+                !consumed[*i]
+                    && e.activity == activity
+                    && e.at_micros.abs_diff(d.at_micros) <= window
+            })
+            .min_by_key(|(_, e)| e.at_micros.abs_diff(d.at_micros))
+            .map(|(i, _)| i);
         match matched {
-            Some(e) if e.intentional => report.matched_intentional += 1,
-            Some(_) => report.matched_passive += 1,
+            Some(i) => {
+                consumed[i] = true;
+                if mine[i].intentional {
+                    report.matched_intentional += 1;
+                } else {
+                    report.matched_passive += 1;
+                }
+            }
             None => report.unmatched += 1,
         }
     }
@@ -180,6 +209,31 @@ mod tests {
     }
 
     #[test]
+    fn segmentation_splits_on_timestamp_regression() {
+        // Chaos-skewed capture: the third timestamp regresses. The real
+        // gap there is unknowable, so it must start a new unit; a
+        // saturating subtraction would report a zero gap and fuse them.
+        let packets: Vec<Packet> = [0u64, 1_000_000, 900_000, 5_000_000]
+            .iter()
+            .map(|&ts| packet_at(ts))
+            .collect();
+        let units = segment_units(&packets, 2.0);
+        assert_eq!(units.len(), 3, "regression must open a unit boundary");
+        assert_eq!(units[0].len(), 2);
+        assert_eq!(units[1].len(), 1);
+        assert_eq!(units[2].len(), 1);
+
+        // A regression can also hide a *real* idle gap entirely: 5000s
+        // of capture followed by a record stamped near zero. One fused
+        // unit here would merge traffic from both sides of the skew.
+        let hidden: Vec<Packet> = [5_000_000_000u64, 5_000_100_000, 100]
+            .iter()
+            .map(|&ts| packet_at(ts))
+            .collect();
+        assert_eq!(segment_units(&hidden, 2.0).len(), 2);
+    }
+
+    #[test]
     fn detection_counts_sorted() {
         let detections = vec![
             Detection { at_micros: 0, label: "local_move".into(), confidence: 0.9, unit_packets: 10 },
@@ -196,7 +250,7 @@ mod tests {
         let events = vec![
             StudyEvent { at_micros: 1_000_000, device_name: "Ring Doorbell", activity: "move", intentional: false },
             StudyEvent { at_micros: 60_000_000, device_name: "Ring Doorbell", activity: "ring", intentional: true },
-            StudyEvent { at_micros: 90_000_000, device_name: "Samsung Fridge", activity: "dooropen", intentional: true },
+            StudyEvent { at_micros: 90_000_000, device_name: "Samsung Fridge", activity: "door_open", intentional: true },
         ];
         let detections = vec![
             Detection { at_micros: 2_000_000, label: "local_move".into(), confidence: 0.9, unit_packets: 10 },
@@ -207,5 +261,39 @@ mod tests {
         assert_eq!(report.matched_passive, 1);
         assert_eq!(report.matched_intentional, 1);
         assert_eq!(report.unmatched, 1);
+    }
+
+    #[test]
+    fn ground_truth_events_consumed_one_to_one() {
+        // Two detections bracket one real event: only the nearer one may
+        // claim it. Counting the event twice would report two confirmed
+        // actions where the user performed one.
+        let events = vec![
+            StudyEvent { at_micros: 10_000_000, device_name: "Ring Doorbell", activity: "ring", intentional: true },
+        ];
+        let detections = vec![
+            Detection { at_micros: 8_000_000, label: "local_ring".into(), confidence: 0.9, unit_packets: 10 },
+            Detection { at_micros: 11_000_000, label: "local_ring".into(), confidence: 0.9, unit_packets: 10 },
+        ];
+        let report = match_against_ground_truth("Ring Doorbell", &detections, &events, 30.0);
+        assert_eq!(report.matched_intentional, 1, "one event, one match");
+        assert_eq!(report.matched_passive, 0);
+        assert_eq!(report.unmatched, 1);
+    }
+
+    #[test]
+    fn ground_truth_matching_multi_segment_activity() {
+        // `door_open` contains an underscore; splitting the detection
+        // label on the last `_` would search for activity `open` and
+        // find nothing.
+        let events = vec![
+            StudyEvent { at_micros: 5_000_000, device_name: "Samsung Fridge", activity: "door_open", intentional: true },
+        ];
+        let detections = vec![
+            Detection { at_micros: 6_000_000, label: "local_door_open".into(), confidence: 0.9, unit_packets: 10 },
+        ];
+        let report = match_against_ground_truth("Samsung Fridge", &detections, &events, 30.0);
+        assert_eq!(report.matched_intentional, 1);
+        assert_eq!(report.unmatched, 0);
     }
 }

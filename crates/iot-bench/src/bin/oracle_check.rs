@@ -1,0 +1,83 @@
+//! Correctness-oracle gate, run by `verify.sh`.
+//!
+//! Byte-identical reports across drivers (gated by `bench_pipeline` and
+//! `chaos_check`) prove the pipeline is *consistent*; they cannot prove
+//! the numbers are *right*. This binary runs the `iot-oracle` harness,
+//! which checks properties that hold regardless of what the correct
+//! values are:
+//!
+//! 1. **Invariants** — the ingest ledger reconciles, per-lab encryption
+//!    percentages sum to 100, every PII finding names a cataloged device
+//!    deployed at its site, findings arrive sorted, and every derived
+//!    report field recounts exactly from the live accumulators. Table 11
+//!    and §7.3 laws are exercised on a simulated user study.
+//! 2. **Metamorphic relations** — permuting experiment order or
+//!    relabeling repetition indices leaves the report byte-identical;
+//!    removing one device removes exactly that device's rows; adding
+//!    the VPN dimension leaves native-egress fields untouched.
+//! 3. **Differential runs** — 1/2/8-worker and chaos-clean-plan drivers
+//!    against the serial baseline, with divergences named by table, row,
+//!    and field.
+//!
+//! Environment:
+//!
+//! * `IOT_SCALE` — `quick` / `medium` / `full` campaign (see `iot-bench`).
+//! * `IOT_ORACLE_OUT` — results JSON path (default `target/oracle_check.json`).
+//!
+//! Exits non-zero on any violation.
+
+use iot_bench::{campaign_config, scale};
+use iot_core::json::ToJson;
+use iot_oracle::run_oracle;
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn check(out_path: &str) -> Result<(), String> {
+    let scale = scale();
+    let config = campaign_config(scale);
+    println!("oracle_check: scale={}", scale.name());
+
+    let t = Instant::now();
+    let outcome = run_oracle(config);
+    println!(
+        "oracle_check: {} ({:.1}s)",
+        outcome.summary(),
+        t.elapsed().as_secs_f64()
+    );
+
+    let mut results = outcome.to_json();
+    results.set("scale", scale.name().to_json());
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut f = std::fs::File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    writeln!(f, "{}", results.pretty()).map_err(|e| format!("{out_path}: {e}"))?;
+    println!("oracle_check: results written to {out_path}");
+
+    if !outcome.is_clean() {
+        return Err(format!(
+            "{} violations (invariants {}, metamorphic {}, differential {})",
+            outcome.total(),
+            outcome.invariant.len(),
+            outcome.metamorphic.len(),
+            outcome.differential.len()
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let out = std::env::var("IOT_ORACLE_OUT")
+        .unwrap_or_else(|_| "target/oracle_check.json".to_string());
+    match check(&out) {
+        Ok(()) => {
+            println!("oracle_check: OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("oracle_check: FAIL — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Differential runs: the same campaign executed through every driver —
+//! serial, 1/2/8-worker parallel, and serial with an armed all-zero
+//! chaos plan — compared field by field.
+//!
+//! Byte equality of the dumped JSON is already gated elsewhere
+//! (`bench_pipeline`, `chaos_check`); the oracle's contribution is the
+//! *structured* comparison: when drivers diverge, the violations name
+//! the exact table, row, and field, which turns "reports differ" into
+//! an actionable defect report.
+
+use crate::diff::diff_json;
+use crate::Violation;
+use iot_analysis::pipeline::{Pipeline, PipelineReport};
+use iot_chaos::FaultPlan;
+use iot_core::json::ToJson;
+use iot_testbed::schedule::CampaignConfig;
+
+/// Worker counts compared against the serial baseline.
+pub const WORKER_GRID: [usize; 3] = [1, 2, 8];
+
+/// Seed for the clean (all-zero-rate) fault plan; any value must be an
+/// identity, this one just makes runs reproducible.
+const CLEAN_PLAN_SEED: u64 = 0x0B5E55ED;
+
+fn run(config: CampaignConfig, plan: Option<FaultPlan>, workers: Option<usize>) -> PipelineReport {
+    let mut p = Pipeline::with_obs(false);
+    if let Some(plan) = plan {
+        p.set_fault_plan(plan);
+    }
+    match workers {
+        None => p.run_campaign(config),
+        Some(w) => p.run_campaign_parallel(config, w),
+    }
+    p.finish()
+}
+
+fn compare(
+    invariant: &'static str,
+    baseline: &PipelineReport,
+    candidate: &PipelineReport,
+) -> Vec<Violation> {
+    diff_json(&baseline.to_json(), &candidate.to_json())
+        .into_iter()
+        .map(|d| d.into_violation(invariant))
+        .collect()
+}
+
+/// Runs every differential configuration against an existing serial
+/// baseline report, returning one violation per diverging field.
+pub fn check_drivers_against(
+    baseline: &PipelineReport,
+    config: CampaignConfig,
+) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for workers in WORKER_GRID {
+        let candidate = run(config, None, Some(workers));
+        let invariant = match workers {
+            1 => "differential_workers_1",
+            2 => "differential_workers_2",
+            _ => "differential_workers_8",
+        };
+        v.extend(compare(invariant, baseline, &candidate));
+    }
+    let clean = run(config, Some(FaultPlan::clean(CLEAN_PLAN_SEED)), None);
+    v.extend(compare("differential_chaos_clean", baseline, &clean));
+    v
+}
+
+/// Runs the serial driver as baseline, then every differential
+/// configuration. The serial report is also returned so callers can
+/// chain invariant checks without re-running the campaign.
+pub fn check_drivers(config: CampaignConfig) -> (PipelineReport, Vec<Violation>) {
+    let baseline = run(config, None, None);
+    let v = check_drivers_against(&baseline, config);
+    (baseline, v)
+}

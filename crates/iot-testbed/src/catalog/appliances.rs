@@ -145,7 +145,7 @@ pub(super) fn devices() -> Vec<DeviceSpec> {
                 tweak("volume", 2, PayloadKind::Ciphertext, LOCAL),
                 tweak("temperature", 0, PayloadKind::Ciphertext, APPS),
                 {
-                    let mut a = tweak("dooropen", 0, PayloadKind::Ciphertext, LOCAL);
+                    let mut a = tweak("door_open", 0, PayloadKind::Ciphertext, LOCAL);
                     a.flights[0].out_packets = (2, 4);
                     a
                 },

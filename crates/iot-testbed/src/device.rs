@@ -206,6 +206,37 @@ impl InteractionMethod {
     pub fn is_automated(self) -> bool {
         !matches!(self, InteractionMethod::Local)
     }
+
+    /// Every method. Ordered longest label prefix first so prefix
+    /// matching against a label can never stop at a shorter prefix that
+    /// happens to lead a longer one.
+    pub fn all() -> &'static [InteractionMethod] {
+        &[
+            InteractionMethod::LanApp,
+            InteractionMethod::WanApp,
+            InteractionMethod::Alexa,
+            InteractionMethod::Local,
+        ]
+    }
+}
+
+/// Splits an experiment label `{method_prefix}_{activity}` into its
+/// interaction method and activity name. Activity names may themselves
+/// contain underscores (`local_door_open` → `door_open`), so the split
+/// point is the known method prefix, never the last `_`. Returns `None`
+/// for labels without a method prefix (`power`, idle captures) or with
+/// an empty activity part.
+pub fn split_interaction_label(label: &str) -> Option<(InteractionMethod, &str)> {
+    for &method in InteractionMethod::all() {
+        if let Some(rest) = label.strip_prefix(method.label_prefix()) {
+            if let Some(activity) = rest.strip_prefix('_') {
+                if !activity.is_empty() {
+                    return Some((method, activity));
+                }
+            }
+        }
+    }
+    None
 }
 
 /// One burst of exchange with one endpoint inside an activity.
@@ -451,6 +482,34 @@ mod tests {
         assert_eq!(InteractionMethod::LanApp.label_prefix(), "android_lan");
         assert!(!InteractionMethod::Local.is_automated());
         assert!(InteractionMethod::Alexa.is_automated());
+    }
+
+    #[test]
+    fn split_label_handles_multi_segment_activities() {
+        assert_eq!(
+            split_interaction_label("local_move"),
+            Some((InteractionMethod::Local, "move"))
+        );
+        // The activity is everything after the method prefix, not the
+        // last `_`-segment: `android_wan_on` is the `on` activity via
+        // the WAN app, and activity names may contain underscores.
+        assert_eq!(
+            split_interaction_label("android_wan_on"),
+            Some((InteractionMethod::WanApp, "on"))
+        );
+        assert_eq!(
+            split_interaction_label("local_door_open"),
+            Some((InteractionMethod::Local, "door_open"))
+        );
+        assert_eq!(
+            split_interaction_label("alexa_volume_up"),
+            Some((InteractionMethod::Alexa, "volume_up"))
+        );
+        // No method prefix, no split.
+        assert_eq!(split_interaction_label("power"), None);
+        assert_eq!(split_interaction_label("local"), None);
+        assert_eq!(split_interaction_label("local_"), None);
+        assert_eq!(split_interaction_label("android_lan"), None);
     }
 
     #[test]

@@ -68,7 +68,7 @@ impl Default for StudyConfig {
 /// Devices a participant actively uses, with per-access probability and
 /// the activity performed.
 const ACTIVE_USES: &[(&str, &str, f64)] = &[
-    ("Samsung Fridge", "dooropen", 0.5),
+    ("Samsung Fridge", "door_open", 0.5),
     ("GE Microwave", "start", 0.35),
     ("Samsung Washer", "start", 0.12),
     ("Samsung Dryer", "start", 0.12),
@@ -135,7 +135,7 @@ pub fn simulate(
                 events.push(StudyEvent {
                     at_micros: at_micros + rng.gen_range(60_000_000..300_000_000),
                     device_name: "Samsung Fridge",
-                    activity: "dooropen",
+                    activity: "door_open",
                     intentional: true,
                 });
             }

@@ -9,6 +9,8 @@
 //! moniotr idle <device> <hours>                idle capture + traffic-unit summary
 //! moniotr campaign [quick|medium|full] [workers N] [--serve ADDR] [--trace-out PATH]
 //!                                              full instrumented campaign + telemetry
+//! moniotr oracle [quick|medium|full]           correctness oracle: invariants,
+//!                                              metamorphic relations, differential runs
 //! ```
 
 use intl_iot::analysis::encryption::{classify_flow, ClassBytes};
@@ -34,11 +36,13 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("idle") => cmd_idle(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("oracle") => cmd_oracle(&args[1..]),
         _ => {
             eprintln!(
                 "usage: moniotr devices\n       moniotr capture <device> [uk] [vpn] [out-dir]\n       \
                  moniotr analyze <device-dir>\n       moniotr idle <device> <hours>\n       \
-                 moniotr campaign [quick|medium|full] [workers N] [--serve ADDR] [--trace-out PATH]"
+                 moniotr campaign [quick|medium|full] [workers N] [--serve ADDR] [--trace-out PATH]\n       \
+                 moniotr oracle [quick|medium|full]"
             );
             return ExitCode::from(2);
         }
@@ -321,6 +325,28 @@ fn cmd_campaign(args: &[String]) -> CliResult {
             std::thread::sleep(std::time::Duration::from_secs(3600));
         }
     }
+    Ok(())
+}
+
+fn cmd_oracle(args: &[String]) -> CliResult {
+    use iot_bench::{campaign_config, Scale};
+
+    let mut scale = Scale::Quick;
+    for arg in args {
+        match arg.as_str() {
+            "quick" => scale = Scale::Quick,
+            "medium" => scale = Scale::Medium,
+            "full" => scale = Scale::Full,
+            other => return Err(format!("oracle: unknown argument {other:?}").into()),
+        }
+    }
+    println!("oracle: scale={} (serial + differential + metamorphic runs)", scale.name());
+    let outcome = intl_iot::oracle::run_oracle(campaign_config(scale));
+    println!("{}", outcome.summary());
+    if !outcome.is_clean() {
+        return Err(format!("{} correctness violations", outcome.total()).into());
+    }
+    println!("oracle: all invariants, metamorphic relations, and differential runs hold");
     Ok(())
 }
 

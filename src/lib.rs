@@ -15,6 +15,8 @@
 //! * [`testbed`] — the simulated Mon(IoT)r labs and 81 device models (§3).
 //! * [`analysis`] — the multidimensional analysis pipeline (§4–§7).
 //! * [`obs`] — tracing + metrics layer and machine-readable run reports.
+//! * [`oracle`] — correctness oracle: invariant checks, metamorphic
+//!   relations, and differential runs over the pipeline.
 
 #![forbid(unsafe_code)]
 
@@ -24,5 +26,6 @@ pub use iot_geodb as geodb;
 pub use iot_ml as ml;
 pub use iot_net as net;
 pub use iot_obs as obs;
+pub use iot_oracle as oracle;
 pub use iot_protocols as protocols;
 pub use iot_testbed as testbed;

@@ -24,6 +24,12 @@
 #    escaped panics, byte-identical faulted reports across worker
 #    counts, exact ingest-ledger reconciliation, and bounded headline
 #    drift at low fault rates.
+# 7. oracle_check: the correctness oracle — conservation-law invariants
+#    over the finished report (ledger reconciliation, percentage sums,
+#    catalog-backed PII findings, recounts from live accumulators),
+#    metamorphic relations (order permutation, rep relabeling, device
+#    removal, VPN isolation), and field-by-field differential runs
+#    across every driver. Any violation fails this script.
 set -e
 cd "$(dirname "$0")"
 export CARGO_NET_OFFLINE=true
@@ -40,7 +46,7 @@ cargo test -q --workspace
 echo "=== bench: serial vs parallel pipeline (quick scale, obs on) ==="
 cargo build --release -p iot-bench \
   --bin bench_pipeline --bin obs_check --bin obs_serve_check \
-  --bin bench_trend --bin chaos_check
+  --bin bench_trend --bin chaos_check --bin oracle_check
 # Write to scratch paths so routine verification never clobbers the
 # committed BENCH_pipeline.json baseline (regenerate that explicitly
 # with the bench binary's defaults). IOT_OBS=1 makes the run emit the
@@ -82,5 +88,10 @@ echo "=== chaos smoke: fault-injection sweep + quarantine gates ==="
 IOT_SCALE=quick \
   IOT_CHAOS_OUT="${IOT_CHAOS_OUT:-target/chaos_check.json}" \
   ./target/release/chaos_check
+
+echo "=== oracle: invariants + metamorphic relations + differential runs ==="
+IOT_SCALE=quick \
+  IOT_ORACLE_OUT="${IOT_ORACLE_OUT:-target/oracle_check.json}" \
+  ./target/release/oracle_check
 
 echo "verify.sh: OK"
