@@ -132,6 +132,28 @@ struct ObsVal {
     groups: u8,
 }
 
+/// Per-experiment destination-labeling context — everything the per-flow
+/// body needs that is constant across an experiment's flows, computed once
+/// before the fused loop.
+pub(crate) struct DestCtx {
+    manufacturer_org: &'static str,
+    egress: Region,
+    groups: u8,
+}
+
+impl DestCtx {
+    /// `None` when the device is unknown to the catalog (such experiments
+    /// contribute no destination observations).
+    pub(crate) fn of(exp: &LabeledExperiment) -> Option<DestCtx> {
+        let spec = catalog::by_name(exp.device_name)?;
+        Some(DestCtx {
+            manufacturer_org: spec.manufacturer_org,
+            egress: exp.site.egress(exp.vpn),
+            groups: DestinationAnalysis::groups_of(exp),
+        })
+    }
+}
+
 /// Accumulates destination observations across experiments.
 pub struct DestinationAnalysis {
     db: GeoDb,
@@ -192,52 +214,64 @@ impl DestinationAnalysis {
     /// Ingests pre-extracted flows (lets callers share the extraction with
     /// other analyses).
     pub fn add_flows(&mut self, exp: &LabeledExperiment, flows: &ExperimentFlows) {
-        let spec = match catalog::by_name(exp.device_name) {
-            Some(s) => s,
+        let ctx = match DestCtx::of(exp) {
+            Some(c) => c,
             None => return,
         };
-        let egress = exp.site.egress(exp.vpn);
-        let groups = Self::groups_of(exp);
         for lf in flows.internet_flows() {
-            let remote = lf.remote_ip();
-            // §4.1 party labeling: domain-based first, IP-owner fallback.
-            let (org, role) = match lf.domain.as_deref().and_then(|d| self.db.org_for_domain(d)) {
-                Some((org, role)) => (Some(org), Some(role)),
-                None => (self.db.whois_ip(remote).map(|(o, _, _)| o), None),
-            };
-            let party = match org {
-                Some(org) => classify(org, role, spec.manufacturer_org),
-                None => PartyType::Third, // unknown owner: worst case
-            };
-            let country = passport::infer_country(&self.db, remote, egress);
-            let dest_key = lf
-                .domain
-                .clone()
-                .unwrap_or_else(|| format!("ip:{remote}"));
-            let party_key = lf
-                .domain
-                .clone()
-                .or_else(|| org.map(|o| format!("org:{}", o.name)))
-                .unwrap_or_else(|| format!("ip:{remote}"));
-            let entry = self
-                .observations
-                .entry(ObsKey {
-                    site: exp.site,
-                    vpn: exp.vpn,
-                    device: exp.device_name,
-                    dest_key,
-                })
-                .or_insert(ObsVal {
-                    party,
-                    org_name: org.map(|o| o.name),
-                    country,
-                    party_key,
-                    bytes: 0,
-                    groups: 0,
-                });
-            entry.bytes += lf.flow.total_bytes();
-            entry.groups |= groups;
+            self.add_flow(exp, &ctx, lf);
         }
+    }
+
+    /// Ingests one internet-facing labeled flow — the fused-pipeline entry
+    /// point. `ctx` is [`DestCtx::of`] for the experiment, computed once
+    /// per experiment rather than per flow.
+    pub(crate) fn add_flow(
+        &mut self,
+        exp: &LabeledExperiment,
+        ctx: &DestCtx,
+        lf: &crate::flows::LabeledFlow,
+    ) {
+        let remote = lf.remote_ip();
+        // §4.1 party labeling: domain-based first, IP-owner fallback.
+        let (org, role) = match lf.domain.as_deref().and_then(|d| self.db.org_for_domain(d)) {
+            Some((org, role)) => (Some(org), Some(role)),
+            None => (self.db.whois_ip(remote).map(|(o, _, _)| o), None),
+        };
+        let party = match org {
+            Some(org) => classify(org, role, ctx.manufacturer_org),
+            None => PartyType::Third, // unknown owner: worst case
+        };
+        let country = passport::infer_country(&self.db, remote, ctx.egress);
+        let dest_key = lf
+            .domain
+            .as_deref()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("ip:{remote}"));
+        let party_key = lf
+            .domain
+            .as_deref()
+            .map(str::to_string)
+            .or_else(|| org.map(|o| format!("org:{}", o.name)))
+            .unwrap_or_else(|| format!("ip:{remote}"));
+        let entry = self
+            .observations
+            .entry(ObsKey {
+                site: exp.site,
+                vpn: exp.vpn,
+                device: exp.device_name,
+                dest_key,
+            })
+            .or_insert(ObsVal {
+                party,
+                org_name: org.map(|o| o.name),
+                country,
+                party_key,
+                bytes: 0,
+                groups: 0,
+            });
+        entry.bytes += lf.flow.total_bytes();
+        entry.groups |= ctx.groups;
     }
 
     /// Folds another analysis into this one. The result is identical to

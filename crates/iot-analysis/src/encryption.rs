@@ -13,7 +13,7 @@
 //!    unencrypted, otherwise unknown).
 
 use crate::flows::ExperimentFlows;
-use iot_entropy::{mean_packet_entropy, EncryptionClass, Thresholds};
+use iot_entropy::{EncryptionClass, EntropyScratch, Thresholds};
 use iot_protocols::analyzer::{detect_media_encoding, ProtocolId};
 use iot_testbed::catalog;
 use iot_testbed::device::{ActivityKind, Availability, Category};
@@ -128,6 +128,17 @@ pub fn classify_flow(
     flow: &crate::flows::LabeledFlow,
     thresholds: &Thresholds,
 ) -> EncryptionClass {
+    classify_flow_with(flow, thresholds, &mut EntropyScratch::new())
+}
+
+/// [`classify_flow`] with a reusable [`EntropyScratch`], the hot-path
+/// variant — the scratch's entropy is bit-identical to the naive
+/// reference, so the classification is too.
+pub fn classify_flow_with(
+    flow: &crate::flows::LabeledFlow,
+    thresholds: &Thresholds,
+    scratch: &mut EntropyScratch,
+) -> EncryptionClass {
     // 1. Protocol analysis.
     if flow.protocol.is_structurally_encrypted() {
         return EncryptionClass::LikelyEncrypted;
@@ -142,7 +153,7 @@ pub fn classify_flow(
         return EncryptionClass::LikelyUnencrypted;
     }
     // 3 + 4. Entropy, with media-pattern exclusion for bulk flows.
-    let h = mean_packet_entropy(
+    let h = scratch.mean_packet_entropy(
         flow.flow
             .payload_out
             .chunks(ENTROPY_CHUNK)
@@ -163,6 +174,7 @@ pub fn classify_flow(
 /// Accumulates encryption classifications across experiments.
 pub struct EncryptionAnalysis {
     thresholds: Thresholds,
+    scratch: EntropyScratch,
     per_device: HashMap<(LabSite, bool, &'static str), ClassBytes>,
     per_row: HashMap<(LabSite, bool, Table8Row), ClassBytes>,
 }
@@ -178,6 +190,7 @@ impl EncryptionAnalysis {
     pub fn new(thresholds: Thresholds) -> Self {
         EncryptionAnalysis {
             thresholds,
+            scratch: EntropyScratch::new(),
             per_device: HashMap::new(),
             per_row: HashMap::new(),
         }
@@ -193,18 +206,30 @@ impl EncryptionAnalysis {
     pub fn add_flows(&mut self, exp: &LabeledExperiment, flows: &ExperimentFlows) {
         let rows = Self::rows_of(exp);
         for lf in &flows.flows {
-            let class = classify_flow(lf, &self.thresholds);
-            let bytes = lf.flow.total_bytes();
-            self.per_device
-                .entry((exp.site, exp.vpn, exp.device_name))
+            self.add_flow(exp, &rows, lf);
+        }
+    }
+
+    /// Ingests one labeled flow — the fused-pipeline entry point. The
+    /// `rows` slice is [`Self::rows_of`] for the experiment, computed once
+    /// per experiment rather than per flow.
+    pub(crate) fn add_flow(
+        &mut self,
+        exp: &LabeledExperiment,
+        rows: &[Table8Row],
+        lf: &crate::flows::LabeledFlow,
+    ) {
+        let class = classify_flow_with(lf, &self.thresholds, &mut self.scratch);
+        let bytes = lf.flow.total_bytes();
+        self.per_device
+            .entry((exp.site, exp.vpn, exp.device_name))
+            .or_default()
+            .add(class, bytes);
+        for &row in rows {
+            self.per_row
+                .entry((exp.site, exp.vpn, row))
                 .or_default()
                 .add(class, bytes);
-            for &row in &rows {
-                self.per_row
-                    .entry((exp.site, exp.vpn, row))
-                    .or_default()
-                    .add(class, bytes);
-            }
         }
     }
 
@@ -235,7 +260,7 @@ impl EncryptionAnalysis {
         agg
     }
 
-    fn rows_of(exp: &LabeledExperiment) -> Vec<Table8Row> {
+    pub(crate) fn rows_of(exp: &LabeledExperiment) -> Vec<Table8Row> {
         match exp.kind {
             ExperimentKind::Idle => vec![Table8Row::Idle],
             ExperimentKind::Uncontrolled => vec![Table8Row::Uncontrolled],

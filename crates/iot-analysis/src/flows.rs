@@ -9,11 +9,12 @@
 //! IP's SLD unlabeled."
 
 use iot_net::flow::{Flow, FlowProto, FlowTable};
-use iot_protocols::analyzer::{identify_flow, ProtocolId, Transport};
+use iot_protocols::analyzer::{IdentifyMemo, ProtocolId, Transport};
 use iot_protocols::{dns, http, tls};
 use iot_testbed::experiment::LabeledExperiment;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// How a flow's domain label was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,7 +37,9 @@ pub struct LabeledFlow {
     /// Identified application protocol.
     pub protocol: ProtocolId,
     /// Domain (full host name) labeling the remote endpoint, if any.
-    pub domain: Option<String>,
+    /// Interned: every flow labeled with the same name shares one
+    /// allocation instead of cloning a `String` per flow.
+    pub domain: Option<Arc<str>>,
     /// How the domain was found.
     pub domain_source: DomainSource,
 }
@@ -48,13 +51,102 @@ impl LabeledFlow {
     }
 }
 
+/// Cross-experiment labeling state: the protocol-identification memo,
+/// the domain-name intern pool, and a bounded memo of SNI/Host lookups.
+/// One per shard — hit rates compound across that shard's experiments,
+/// and dropping the context never changes results (every cached value is
+/// keyed by the full content that produced it).
+#[derive(Default)]
+pub struct LabelCtx {
+    memo: IdentifyMemo,
+    /// Domain intern pool: `Arc<str>` per distinct name ever labeled.
+    domains: HashSet<Arc<str>>,
+    /// Memoized §4.1 SNI/Host fallback, keyed by the exact outbound
+    /// payload prefix (bounded like the identify memo). `None` = the
+    /// payload yields no label.
+    sni_host: HashMap<u64, Vec<(Vec<u8>, Option<(Arc<str>, DomainSource)>)>>,
+}
+
+/// Size bound for SNI/Host memo keys, matching the identify memo's.
+const SNI_MEMO_MAX_BYTES: usize = 1024;
+
+fn sni_key_hash(payload: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl LabelCtx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the shared allocation.
+    fn intern(&mut self, name: &str) -> Arc<str> {
+        if let Some(existing) = self.domains.get(name) {
+            return Arc::clone(existing);
+        }
+        let arc: Arc<str> = Arc::from(name);
+        self.domains.insert(Arc::clone(&arc));
+        arc
+    }
+
+    /// The §4.1 SNI → HTTP-Host fallback, memoized on the outbound
+    /// payload prefix (both parses are pure functions of it).
+    fn sni_or_host(&mut self, payload_out: &[u8]) -> (Option<Arc<str>>, DomainSource) {
+        if payload_out.len() <= SNI_MEMO_MAX_BYTES {
+            let h = sni_key_hash(payload_out);
+            if let Some(bucket) = self.sni_host.get(&h) {
+                for (key, v) in bucket {
+                    if key == payload_out {
+                        return match v {
+                            Some((d, src)) => (Some(Arc::clone(d)), *src),
+                            None => (None, DomainSource::Unlabeled),
+                        };
+                    }
+                }
+            }
+            let computed = self.compute_sni_or_host(payload_out);
+            let cached = match &computed {
+                (Some(d), src) => Some((Arc::clone(d), *src)),
+                (None, _) => None,
+            };
+            self.sni_host
+                .entry(h)
+                .or_default()
+                .push((payload_out.to_vec(), cached));
+            computed
+        } else {
+            self.compute_sni_or_host(payload_out)
+        }
+    }
+
+    fn compute_sni_or_host(&mut self, payload_out: &[u8]) -> (Option<Arc<str>>, DomainSource) {
+        if let Some(sni) = tls::sni_from_stream(payload_out) {
+            let interned = self.intern(&sni);
+            (Some(interned), DomainSource::Sni)
+        } else if let Some(host) = http::Request::parse(payload_out)
+            .ok()
+            .and_then(|r| r.host().map(|h| self.intern(h)))
+        {
+            (Some(host), DomainSource::HttpHost)
+        } else {
+            (None, DomainSource::Unlabeled)
+        }
+    }
+}
+
 /// All flows of one experiment, labeled per §4.1.
 #[derive(Debug, Clone)]
 pub struct ExperimentFlows {
     /// Labeled flows, ordered by first packet time.
     pub flows: Vec<LabeledFlow>,
-    /// DNS name↦address evidence observed in the capture.
-    pub dns_map: HashMap<Ipv4Addr, String>,
+    /// DNS name↦address evidence observed in the capture (names interned).
+    pub dns_map: HashMap<Ipv4Addr, Arc<str>>,
     /// Frames that failed to parse *because they were damaged* —
     /// truncated, length-inconsistent, or checksum-garbled — and were
     /// skipped, the way tcpdump reports mangled packets. Non-IP frames
@@ -65,10 +157,19 @@ pub struct ExperimentFlows {
 }
 
 impl ExperimentFlows {
-    /// Reconstructs and labels the flows of an experiment.
+    /// Reconstructs and labels the flows of an experiment with a fresh
+    /// labeling context. Prefer [`ExperimentFlows::from_experiment_with`]
+    /// on hot paths, where the context's memos pay off across experiments.
     pub fn from_experiment(exp: &LabeledExperiment) -> Self {
+        Self::from_experiment_with(exp, &mut LabelCtx::new())
+    }
+
+    /// Reconstructs and labels the flows of an experiment, reusing the
+    /// caller's [`LabelCtx`]. Results are identical with any context
+    /// state, including an empty one.
+    pub fn from_experiment_with(exp: &LabeledExperiment, ctx: &mut LabelCtx) -> Self {
         let mut table = FlowTable::new(exp.site.subnet(), 24);
-        let mut dns_map: HashMap<Ipv4Addr, String> = HashMap::new();
+        let mut dns_map: HashMap<Ipv4Addr, Arc<str>> = HashMap::new();
         let mut unparsed_packets = 0u64;
         for packet in &exp.packets {
             let parsed = match packet.parse() {
@@ -92,7 +193,8 @@ impl ExperimentFlows {
                 if udp.src_port == dns::PORT {
                     if let Ok(msg) = dns::Message::parse(parsed.payload) {
                         for (name, addr) in msg.a_records() {
-                            dns_map.insert(addr, name.to_string());
+                            let interned = ctx.intern(&name);
+                            dns_map.insert(addr, interned);
                         }
                     }
                 }
@@ -102,7 +204,7 @@ impl ExperimentFlows {
         let flows = table
             .into_flows()
             .into_iter()
-            .map(|flow| label_flow(flow, &dns_map))
+            .map(|flow| label_flow(flow, &dns_map, ctx))
             .collect();
         ExperimentFlows {
             flows,
@@ -125,29 +227,28 @@ impl ExperimentFlows {
     }
 }
 
-fn label_flow(flow: Flow, dns_map: &HashMap<Ipv4Addr, String>) -> LabeledFlow {
+fn label_flow(
+    flow: Flow,
+    dns_map: &HashMap<Ipv4Addr, Arc<str>>,
+    ctx: &mut LabelCtx,
+) -> LabeledFlow {
     let transport = match flow.key.proto {
         FlowProto::Tcp => Transport::Tcp,
         FlowProto::Udp => Transport::Udp,
     };
-    let protocol = identify_flow(
+    let protocol = ctx.memo.identify(
         transport,
         flow.key.remote_port,
         &flow.payload_out,
         &flow.payload_in,
     );
-    // §4.1 label hierarchy: DNS first, then SNI / Host.
+    // §4.1 label hierarchy: DNS first, then SNI / Host. The DNS arm is a
+    // cheap Arc clone of the interned name; the fallback is memoized on
+    // the payload prefix that determines it.
     let (domain, domain_source) = if let Some(name) = dns_map.get(&flow.key.remote_ip) {
-        (Some(name.clone()), DomainSource::Dns)
-    } else if let Some(sni) = tls::sni_from_stream(&flow.payload_out) {
-        (Some(sni), DomainSource::Sni)
-    } else if let Some(host) = http::Request::parse(&flow.payload_out)
-        .ok()
-        .and_then(|r| r.host().map(str::to_string))
-    {
-        (Some(host), DomainSource::HttpHost)
+        (Some(Arc::clone(name)), DomainSource::Dns)
     } else {
-        (None, DomainSource::Unlabeled)
+        ctx.sni_or_host(&flow.payload_out)
     };
     LabeledFlow {
         flow,

@@ -161,9 +161,17 @@ fn base64_phase_patterns(value: &[u8]) -> Vec<Vec<u8>> {
 }
 
 /// The search patterns for one device: every identifier in every encoding.
+///
+/// Compiled for position-major scanning: patterns are bucketed by first
+/// byte, so a search makes one pass over the payload and only attempts a
+/// `starts_with` where a pattern could actually begin — instead of one
+/// full [`find_subsequence`] pass per pattern (~21 passes per payload).
 #[derive(Debug, Clone)]
 pub struct PiiPatterns {
     patterns: Vec<(PiiFindingKind, &'static str, Vec<u8>)>,
+    /// Pattern indices by first byte; almost every payload byte hits an
+    /// empty bucket.
+    buckets: Vec<Vec<u16>>,
 }
 
 impl PiiPatterns {
@@ -202,11 +210,60 @@ impl PiiPatterns {
                 patterns.push((kind, "base64", pattern));
             }
         }
-        PiiPatterns { patterns }
+        // The bitmask in `search` holds one bit per pattern; identities
+        // produce ~21, far under the limit.
+        assert!(patterns.len() <= 64, "too many PII patterns for bitmask");
+        let mut buckets = vec![Vec::new(); 256];
+        for (i, (_, _, pattern)) in patterns.iter().enumerate() {
+            if let Some(&first) = pattern.first() {
+                buckets[usize::from(first)].push(i as u16);
+            }
+        }
+        PiiPatterns { patterns, buckets }
     }
 
     /// Searches a payload for any pattern; returns (kind, encoding) hits.
+    /// Same hit set as [`PiiPatterns::search_naive`] — a property test
+    /// pins the equivalence.
     pub fn search(&self, payload: &[u8]) -> Vec<(PiiFindingKind, &'static str)> {
+        let total = self.patterns.len();
+        let mut found = 0u64;
+        let mut nfound = 0usize;
+        'scan: for (i, &b) in payload.iter().enumerate() {
+            let bucket = &self.buckets[usize::from(b)];
+            if bucket.is_empty() {
+                continue;
+            }
+            for &pi in bucket {
+                let bit = 1u64 << pi;
+                if found & bit != 0 {
+                    continue;
+                }
+                let pattern = &self.patterns[usize::from(pi)].2;
+                if payload[i..].starts_with(pattern) {
+                    found |= bit;
+                    nfound += 1;
+                    if nfound == total {
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<(PiiFindingKind, &'static str)> = self
+            .patterns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| found & (1u64 << i) != 0)
+            .map(|(_, (kind, encoding, _))| (*kind, *encoding))
+            .collect();
+        hits.sort();
+        hits.dedup();
+        hits
+    }
+
+    /// The pre-optimization pattern-major search, retained as the
+    /// reference implementation for equivalence tests.
+    pub fn search_naive(&self, payload: &[u8]) -> Vec<(PiiFindingKind, &'static str)> {
         let mut hits = Vec::new();
         for (kind, encoding, pattern) in &self.patterns {
             if find_subsequence(payload, pattern).is_some() {
@@ -216,6 +273,77 @@ impl PiiPatterns {
         hits.sort();
         hits.dedup();
         hits
+    }
+}
+
+/// Per-shard cache of compiled [`PiiPatterns`], keyed like the pipeline's
+/// identity map. Building a pattern set base64-encodes every identifier
+/// at three phases; doing that once per (device, site) instead of once
+/// per experiment is pure win — the patterns are a function of the
+/// identity alone.
+#[derive(Default)]
+pub struct PatternCache {
+    map: std::collections::HashMap<(&'static str, LabSite), PiiPatterns>,
+}
+
+impl PatternCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The compiled patterns for `identity`, building them on first use.
+    pub fn get(
+        &mut self,
+        device: &'static str,
+        site: LabSite,
+        identity: &DeviceIdentity,
+    ) -> &PiiPatterns {
+        self.map
+            .entry((device, site))
+            .or_insert_with(|| PiiPatterns::for_identity(identity))
+    }
+}
+
+/// Scans one labeled flow's payloads; returns the deduplicated
+/// (kind, encoding) hits in sorted order.
+pub(crate) fn scan_flow(
+    patterns: &PiiPatterns,
+    lf: &crate::flows::LabeledFlow,
+) -> Vec<(PiiFindingKind, &'static str)> {
+    let mut hits = patterns.search(&lf.flow.payload_out);
+    hits.extend(patterns.search(&lf.flow.payload_in));
+    hits.sort();
+    hits.dedup();
+    hits
+}
+
+/// Builds and appends the findings for one flow's hits.
+pub(crate) fn findings_for_flow(
+    db: &GeoDb,
+    exp: &LabeledExperiment,
+    manufacturer_org: &'static str,
+    lf: &crate::flows::LabeledFlow,
+    hits: Vec<(PiiFindingKind, &'static str)>,
+    findings: &mut Vec<PiiFinding>,
+) {
+    let (org, role) = match lf.domain.as_deref().and_then(|d| db.org_for_domain(d)) {
+        Some((o, r)) => (Some(o), Some(r)),
+        None => (db.whois_ip(lf.remote_ip()).map(|(o, _, _)| o), None),
+    };
+    let party = org.map(|o| classify(o, role, manufacturer_org));
+    for (kind, encoding) in hits {
+        findings.push(PiiFinding {
+            device_name: exp.device_name.to_string(),
+            site: exp.site,
+            vpn: exp.vpn,
+            kind,
+            encoding,
+            domain: lf.domain.as_deref().map(str::to_string),
+            org: org.map(|o| o.name),
+            party,
+            experiment_label: exp.label.clone(),
+        });
     }
 }
 
@@ -233,31 +361,11 @@ pub fn scan_experiment(
     };
     let mut findings = Vec::new();
     for lf in flows.internet_flows() {
-        let mut hits = patterns.search(&lf.flow.payload_out);
-        hits.extend(patterns.search(&lf.flow.payload_in));
-        hits.sort();
-        hits.dedup();
+        let hits = scan_flow(&patterns, lf);
         if hits.is_empty() {
             continue;
         }
-        let (org, role) = match lf.domain.as_deref().and_then(|d| db.org_for_domain(d)) {
-            Some((o, r)) => (Some(o), Some(r)),
-            None => (db.whois_ip(lf.remote_ip()).map(|(o, _, _)| o), None),
-        };
-        let party = org.map(|o| classify(o, role, spec.manufacturer_org));
-        for (kind, encoding) in hits {
-            findings.push(PiiFinding {
-                device_name: exp.device_name.to_string(),
-                site: exp.site,
-                vpn: exp.vpn,
-                kind,
-                encoding,
-                domain: lf.domain.clone(),
-                org: org.map(|o| o.name),
-                party,
-                experiment_label: exp.label.clone(),
-            });
-        }
+        findings_for_flow(db, exp, spec.manufacturer_org, lf, hits, &mut findings);
     }
     findings
 }
@@ -419,6 +527,78 @@ mod tests {
         assert!(expected_leaks("Insteon Hub", LabSite::Us).is_empty());
         assert_eq!(expected_leaks("Insteon Hub", LabSite::Uk).len(), 1);
         assert_eq!(expected_leaks("Nonexistent", LabSite::Us).len(), 0);
+    }
+
+    /// Property test (tentpole contract): the bucketed position-major
+    /// scanner returns exactly the hit set of the pattern-major
+    /// [`PiiPatterns::search_naive`] reference, across ≥64 seeded payloads
+    /// per identity — noise, embedded identifiers (every encoding, at
+    /// random offsets, back to back, truncated), empty and 1-byte inputs.
+    #[test]
+    fn fast_search_matches_naive_seeded() {
+        let lab = Lab::deploy(LabSite::Us);
+        let mut rng = iot_core::rng::StdRng::seed_from_u64(0x5CA7_7E57);
+        for device in ["Sengled Hub", "Samsung Fridge", "Wansview Cam"] {
+            let identity = identity_of(lab.device(device).unwrap());
+            let patterns = PiiPatterns::for_identity(&identity);
+            let mut planted: Vec<Vec<u8>> = vec![
+                identity.mac.to_string().into_bytes(),
+                identity.mac.to_bare_string().into_bytes(),
+                base64_encode(identity.device_id.as_bytes()).into_bytes(),
+                hex_encode(identity.location.as_bytes()).into_bytes(),
+                identity.device_name.clone().into_bytes(),
+            ];
+            // Truncated identifier: must *not* match (too short), and both
+            // implementations must agree on that too.
+            planted.push(identity.mac.to_string().as_bytes()[..5].to_vec());
+            for case in 0..72u32 {
+                let payload: Vec<u8> = match case % 6 {
+                    0 => Vec::new(),
+                    1 => vec![rng.gen::<u8>()],
+                    2 => {
+                        // Pure noise.
+                        let mut v = vec![0u8; rng.gen_range(1usize..512)];
+                        rng.fill(&mut v);
+                        v
+                    }
+                    3 => {
+                        // One identifier at a random offset in noise.
+                        let mut v = vec![0u8; rng.gen_range(0usize..128)];
+                        rng.fill(&mut v);
+                        let p = &planted[rng.gen_range(0usize..planted.len())];
+                        v.extend_from_slice(p);
+                        let mut tail = vec![0u8; rng.gen_range(0usize..128)];
+                        rng.fill(&mut tail);
+                        v.extend_from_slice(&tail);
+                        v
+                    }
+                    4 => {
+                        // Several identifiers back to back.
+                        let mut v = Vec::new();
+                        for _ in 0..rng.gen_range(2usize..5) {
+                            v.extend_from_slice(&planted[rng.gen_range(0usize..planted.len())]);
+                            v.push(rng.gen::<u8>());
+                        }
+                        v
+                    }
+                    _ => {
+                        // Text-like payload with one plain identifier.
+                        let mut v = format!(
+                            "POST /r?id={} HTTP/1.1\r\n",
+                            identity.device_id
+                        )
+                        .into_bytes();
+                        let mut tail = vec![0u8; rng.gen_range(0usize..64)];
+                        rng.fill(&mut tail);
+                        v.extend_from_slice(&tail);
+                        v
+                    }
+                };
+                let fast = patterns.search(&payload);
+                let naive = patterns.search_naive(&payload);
+                assert_eq!(fast, naive, "{device} case {case} len {}", payload.len());
+            }
+        }
     }
 
     /// Scanner completeness: every cataloged leak is detected in the

@@ -46,24 +46,26 @@
 //! [`IngestStats`] in the report (`"ingest"` in the JSON), whose
 //! conservation invariant `chaos_check` gates.
 
-use crate::destinations::{ColumnCtx, DestinationAnalysis};
+use crate::destinations::{ColumnCtx, DestCtx, DestinationAnalysis};
 use crate::encryption::EncryptionAnalysis;
-use crate::flows::ExperimentFlows;
+use crate::flows::{ExperimentFlows, LabelCtx};
 use crate::ingest::IngestStats;
-use crate::pii::{scan_experiment, PiiFinding};
+use crate::pii::{findings_for_flow, scan_flow, PatternCache, PiiFinding};
 use iot_chaos::{stream_key, FaultInjector, FaultPlan};
 use iot_core::json::{Json, ToJson};
 use iot_entropy::EncryptionClass;
 use iot_geodb::party::PartyType;
 use iot_geodb::registry::GeoDb;
 use iot_obs::Registry;
+use iot_protocols::analyzer::ProtocolId;
+use iot_testbed::catalog;
 use iot_testbed::experiment::LabeledExperiment;
 use iot_testbed::lab::LabSite;
 use iot_testbed::schedule::{Campaign, CampaignConfig};
 use iot_testbed::traffic::{identity_of, DeviceIdentity};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Message carried by chaos-injected ingest panics, so logs can tell a
 /// drill from a real defect.
@@ -149,6 +151,14 @@ struct PipelineShard {
     encryption: EncryptionAnalysis,
     pii: Vec<PiiFinding>,
     experiments: u64,
+    /// Cross-experiment labeling memos (protocol identify, domain intern
+    /// pool, SNI/Host). Shard-local and never folded: every cached value
+    /// is keyed by the full content that produced it, so hit rates differ
+    /// per shard but results never do.
+    label_ctx: LabelCtx,
+    /// Compiled PII pattern sets per (device, site); same shard-local,
+    /// result-neutral caching story as `label_ctx`.
+    pii_patterns: PatternCache,
     /// Ingest ledger; folds with the rest of the shard.
     ingest: IngestStats,
     /// Shard-local metrics; folds with the rest of the shard.
@@ -162,6 +172,8 @@ impl PipelineShard {
             encryption: EncryptionAnalysis::default(),
             pii: Vec::new(),
             experiments: 0,
+            label_ctx: LabelCtx::new(),
+            pii_patterns: PatternCache::new(),
             ingest: IngestStats::default(),
             obs: Registry::with_enabled(obs_enabled),
         }
@@ -182,6 +194,8 @@ impl PipelineShard {
             encryption,
             pii,
             experiments,
+            label_ctx,
+            pii_patterns,
             ingest,
             obs,
         } = self;
@@ -208,7 +222,18 @@ impl PipelineShard {
                 if inject_panic {
                     panic!("{INJECTED_PANIC_MSG}");
                 }
-                analyze_experiment(db, identities, destinations, encryption, pii, ingest, obs, &exp);
+                analyze_experiment(
+                    db,
+                    identities,
+                    destinations,
+                    encryption,
+                    pii,
+                    label_ctx,
+                    pii_patterns,
+                    ingest,
+                    obs,
+                    &exp,
+                );
             }));
             match outcome {
                 Ok(()) => {
@@ -268,6 +293,21 @@ fn degrade_capture(
 /// The per-experiment analysis stages, operating on the shard's fields.
 /// A free function (not a `PipelineShard` method) so the quarantine
 /// closure can capture the fields disjointly from the live ingest span.
+///
+/// Fused single pass: flow reconstruction still materializes the
+/// experiment's `Vec<LabeledFlow>` once (several analyses borrow each
+/// flow), but destination mapping, encryption classification, and the
+/// PII scan then run per flow in one loop — no per-stage re-traversal,
+/// and per-experiment stage context (destination labeling inputs, Table 8
+/// rows, compiled PII patterns) hoisted out of the flow loop. Each
+/// accumulator still sees exactly the flow subsequence, in exactly the
+/// order, the staged loops fed it, so reports are byte-identical.
+///
+/// Stage timing moves from per-stage spans to per-flow accumulation
+/// recorded once per experiment via `Registry::record_ns` under the same
+/// `ingest/…` paths the nested spans produced. `record_ns` emits no
+/// flight-recorder events, so the trace stays deterministic across
+/// drivers and the overhead gate unaffected.
 #[allow(clippy::too_many_arguments)]
 fn analyze_experiment(
     db: &GeoDb,
@@ -275,6 +315,8 @@ fn analyze_experiment(
     destinations: &mut DestinationAnalysis,
     encryption: &mut EncryptionAnalysis,
     pii: &mut Vec<PiiFinding>,
+    label_ctx: &mut LabelCtx,
+    pii_patterns: &mut PatternCache,
     ledger: &mut IngestStats,
     obs: &Registry,
     exp: &LabeledExperiment,
@@ -284,7 +326,7 @@ fn analyze_experiment(
     obs.observe("experiment_packets", exp.packets.len() as u64);
     let flows = {
         let _s = obs.span("flows");
-        ExperimentFlows::from_experiment(exp)
+        ExperimentFlows::from_experiment_with(exp, label_ctx)
     };
     if flows.unparsed_packets > 0 {
         // Frames salvage recovered but frame parsing rejected: still
@@ -294,24 +336,66 @@ fn analyze_experiment(
     }
     obs.add("flows", flows.flows.len() as u64);
     obs.add("bytes", flows.total_bytes());
-    if obs.enabled() {
-        for lf in &flows.flows {
+    // Per-experiment stage context, hoisted out of the flow loop.
+    let dest_ctx = DestCtx::of(exp);
+    let enc_rows = EncryptionAnalysis::rows_of(exp);
+    let identity = identities.get(&(exp.device_name, exp.site));
+    let spec = catalog::by_name(exp.device_name);
+    let scan = match (identity, spec) {
+        (Some(identity), Some(spec)) => Some((
+            pii_patterns.get(exp.device_name, exp.site, identity),
+            spec.manufacturer_org,
+        )),
+        _ => None,
+    };
+    let pii_before = pii.len();
+    let timing = obs.enabled();
+    let mut dest_ns = Duration::ZERO;
+    let mut enc_ns = Duration::ZERO;
+    let mut pii_ns = Duration::ZERO;
+    for lf in &flows.flows {
+        if timing {
             obs.observe("flow_bytes", lf.flow.total_bytes());
         }
+        // The paper's destination and PII analyses skip LAN-side
+        // infrastructure chatter (ExperimentFlows::internet_flows).
+        let internet = !matches!(lf.protocol, ProtocolId::Dns | ProtocolId::Dhcp);
+        if internet {
+            if let Some(ctx) = &dest_ctx {
+                let t = timing.then(Instant::now);
+                destinations.add_flow(exp, ctx, lf);
+                if let Some(t) = t {
+                    dest_ns += t.elapsed();
+                }
+            }
+        }
+        {
+            let t = timing.then(Instant::now);
+            encryption.add_flow(exp, &enc_rows, lf);
+            if let Some(t) = t {
+                enc_ns += t.elapsed();
+            }
+        }
+        if internet {
+            if let Some((patterns, manufacturer_org)) = scan {
+                let t = timing.then(Instant::now);
+                let hits = scan_flow(patterns, lf);
+                if !hits.is_empty() {
+                    findings_for_flow(db, exp, manufacturer_org, lf, hits, pii);
+                }
+                if let Some(t) = t {
+                    pii_ns += t.elapsed();
+                }
+            }
+        }
     }
-    {
-        let _s = obs.span("destinations");
-        destinations.add_flows(exp, &flows);
+    if timing {
+        obs.record_ns("ingest/destinations", dest_ns);
+        obs.record_ns("ingest/encryption", enc_ns);
+        obs.record_ns("ingest/pii", pii_ns);
     }
-    {
-        let _s = obs.span("encryption");
-        encryption.add_flows(exp, &flows);
-    }
-    if let Some(identity) = identities.get(&(exp.device_name, exp.site)) {
-        let _s = obs.span("pii");
-        let found = scan_experiment(db, exp, &flows, identity);
-        obs.add("pii_findings", found.len() as u64);
-        pii.extend(found);
+    if identity.is_some() {
+        obs.add("pii_findings", (pii.len() - pii_before) as u64);
     }
 }
 

@@ -196,6 +196,28 @@ fn main() {
     let speedup = serial.median_ms() / parallel.median_ms();
     let obs_overhead = serial_obs.median_ms() / serial_base.median_ms();
 
+    // Per-stage medians from the instrumented *serial* run's span
+    // histograms — the same histograms the flight-recorder stage table
+    // prints. Captured into the committed bench snapshot so PRs that
+    // shift time between ingest stages are visible in review, not just
+    // in the total.
+    let serial_snap = serial_obs_registry.snapshot();
+    let mut stages = Json::obj();
+    for (path, hist) in &serial_snap.span_durations {
+        if path != "ingest" && !path.starts_with("ingest/") && path != "shard" {
+            continue;
+        }
+        let mut s = Json::obj();
+        s.set("calls", hist.count().to_json());
+        if let Some(stats) = serial_snap.spans.get(path) {
+            s.set("total_ms", stats.total_ms().to_json());
+        }
+        let q = |q: f64| hist.quantile_upper_bound(q).map(|ns| ns as f64 / 1e6);
+        s.set("p50_ms", q(0.5).to_json());
+        s.set("p95_ms", q(0.95).to_json());
+        stages.set(path, s);
+    }
+
     let mut out = Json::obj();
     out.set("benchmark", "pipeline_ingestion".to_json());
     out.set("scale", scale.name().to_json());
@@ -216,6 +238,7 @@ fn main() {
     out.set("serial_obs", serial_obs.to_json());
     out.set("speedup_median", speedup.to_json());
     out.set("obs_overhead_ratio", obs_overhead.to_json());
+    out.set("stages", stages);
     out.set(
         "note",
         "speedup_median = serial median / parallel median; expect ≥2x on 4+ \

@@ -27,8 +27,8 @@
 //! Exits non-zero on any violation.
 
 use iot_bench::{campaign_config, scale};
-use iot_core::json::ToJson;
-use iot_oracle::run_oracle;
+use iot_core::json::{Json, ToJson};
+use iot_oracle::{results, run_oracle, Violation};
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -46,8 +46,29 @@ fn check(out_path: &str) -> Result<(), String> {
         t.elapsed().as_secs_f64()
     );
 
+    // Fourth pillar: the committed `results/*.json` table artifacts —
+    // well-formed `emit` shape, row counts pinned by the catalog/enums,
+    // percentage columns summing within rounding tolerance.
+    let results_dir = std::env::var("IOT_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let artifact_violations = results::check_results_dir(std::path::Path::new(&results_dir));
+    println!(
+        "oracle_check: results artifacts ({results_dir}/): {}",
+        if artifact_violations.is_empty() {
+            "clean".to_string()
+        } else {
+            format!("{} violations", artifact_violations.len())
+        }
+    );
+    for v in &artifact_violations {
+        eprintln!("  {}", v.render());
+    }
+
     let mut results = outcome.to_json();
     results.set("scale", scale.name().to_json());
+    results.set(
+        "results_artifacts",
+        Json::Arr(artifact_violations.iter().map(Violation::to_json).collect()),
+    );
     if let Some(dir) = std::path::Path::new(out_path).parent() {
         let _ = std::fs::create_dir_all(dir);
     }
@@ -55,13 +76,15 @@ fn check(out_path: &str) -> Result<(), String> {
     writeln!(f, "{}", results.pretty()).map_err(|e| format!("{out_path}: {e}"))?;
     println!("oracle_check: results written to {out_path}");
 
-    if !outcome.is_clean() {
+    if !outcome.is_clean() || !artifact_violations.is_empty() {
         return Err(format!(
-            "{} violations (invariants {}, metamorphic {}, differential {})",
-            outcome.total(),
+            "{} violations (invariants {}, metamorphic {}, differential {}, \
+             results artifacts {})",
+            outcome.total() + artifact_violations.len(),
             outcome.invariant.len(),
             outcome.metamorphic.len(),
-            outcome.differential.len()
+            outcome.differential.len(),
+            artifact_violations.len()
         ));
     }
     Ok(())

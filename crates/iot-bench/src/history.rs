@@ -22,13 +22,21 @@ use iot_core::json::{Json, ToJson};
 use std::io::Write as _;
 use std::path::Path;
 
-/// Hard ceiling on fresh-median / baseline-median before the gate fails.
+/// Hard ceiling on fresh-median / baseline before the gate fails.
 pub const MAX_REGRESSION_RATIO: f64 = 1.15;
 
 /// Absolute slack: regressions above the ratio still pass when the
-/// median delta is below this, so timer jitter on very fast grids cannot
-/// flake the gate (mirrors `obs_check`'s tolerance).
-pub const ABS_TOLERANCE_MS: f64 = 75.0;
+/// median delta is below this, so scheduler noise cannot flake the gate.
+/// Sized to the reference host's observed *same-code* spread: on the
+/// 1-thread shared VM, back-to-back runs of identical code measured
+/// serial medians of 248–371 ms (CPU steal arrives in multi-minute
+/// windows, so even the median of 3 iterations swings ~50%). The
+/// window-**minimum** baseline compares a noisy fresh median against the
+/// luckiest recorded run, so the slack must cover that spread or clean
+/// verifies flake. The regressions this gate exists to catch are far
+/// larger: losing the PR 6 fused-ingest/PII-search win puts the median
+/// back at ~780 ms, +530 ms over baseline.
+pub const ABS_TOLERANCE_MS: f64 = 140.0;
 
 /// How many most-recent comparable entries form the baseline window.
 pub const BASELINE_WINDOW: usize = 8;
@@ -175,8 +183,10 @@ pub fn append(path: &Path, entry: &HistoryEntry) -> std::io::Result<()> {
 pub struct TrendVerdict {
     /// Comparable baseline entries found (same host/scale/workers).
     pub baseline_runs: usize,
-    /// Median of the baseline window's serial medians (0 when empty).
-    pub baseline_median_ms: f64,
+    /// The *fastest* serial median in the baseline window (0 when
+    /// empty) — the ratchet: once a speedup is recorded, the bar stays
+    /// there until it ages out of the window.
+    pub baseline_ms: f64,
     /// The fresh run's serial median.
     pub current_median_ms: f64,
     /// `current / baseline` (1.0 when no baseline exists).
@@ -195,10 +205,10 @@ impl TrendVerdict {
             );
         }
         format!(
-            "serial median {:.1} ms vs baseline {:.1} ms over {} run(s) \
-             ({:.2}x, limit {MAX_REGRESSION_RATIO}x) — {}",
+            "serial median {:.1} ms vs ratchet baseline {:.1} ms (window \
+             best of {} run(s), {:.2}x, limit {MAX_REGRESSION_RATIO}x) — {}",
             self.current_median_ms,
-            self.baseline_median_ms,
+            self.baseline_ms,
             self.baseline_runs,
             self.ratio,
             if self.pass { "ok" } else { "REGRESSION" }
@@ -207,9 +217,12 @@ impl TrendVerdict {
 }
 
 /// Gates `fresh` against `history`: fails when the fresh serial median
-/// exceeds the baseline (the median over the most recent
-/// [`BASELINE_WINDOW`] comparable entries) by more than
-/// [`MAX_REGRESSION_RATIO`] *and* more than [`ABS_TOLERANCE_MS`].
+/// exceeds the baseline by more than [`MAX_REGRESSION_RATIO`] *and*
+/// more than [`ABS_TOLERANCE_MS`]. The baseline is the **minimum**
+/// serial median over the most recent [`BASELINE_WINDOW`] comparable
+/// entries — a ratchet: the moment an optimization PR lands one fast
+/// run, every later PR is held to that bar (a window *median* would let
+/// a sequence of small regressions walk the baseline back up).
 /// Incomparable or empty history always passes — it seeds the
 /// trajectory rather than guessing across machines.
 pub fn trend_gate(history: &[HistoryEntry], fresh: &HistoryEntry) -> TrendVerdict {
@@ -225,14 +238,16 @@ pub fn trend_gate(history: &[HistoryEntry], fresh: &HistoryEntry) -> TrendVerdic
     if baseline_runs == 0 {
         return TrendVerdict {
             baseline_runs: 0,
-            baseline_median_ms: 0.0,
+            baseline_ms: 0.0,
             current_median_ms: fresh.serial_median_ms,
             ratio: 1.0,
             pass: true,
         };
     }
-    window.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let baseline = window[(baseline_runs - 1) / 2];
+    let baseline = window
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
     let ratio = if baseline > 0.0 {
         fresh.serial_median_ms / baseline
     } else {
@@ -241,7 +256,7 @@ pub fn trend_gate(history: &[HistoryEntry], fresh: &HistoryEntry) -> TrendVerdic
     let delta = fresh.serial_median_ms - baseline;
     TrendVerdict {
         baseline_runs,
-        baseline_median_ms: baseline,
+        baseline_ms: baseline,
         current_median_ms: fresh.serial_median_ms,
         ratio,
         pass: ratio <= MAX_REGRESSION_RATIO || delta <= ABS_TOLERANCE_MS,
@@ -327,20 +342,37 @@ mod tests {
     }
 
     #[test]
-    fn baseline_uses_recent_window_median() {
+    fn baseline_is_recent_window_minimum() {
         let mut history: Vec<HistoryEntry> =
             (0..20).map(|i| entry("box/4t", 2000.0 - i as f64 * 50.0)).collect();
         // The old slow entries (2000, 1950, …) fall outside the window;
-        // the recent ones (1400 down to 1050, median 1200) set the bar,
-        // so a 1500 ms run is a regression against the *recent* trend
-        // even though it beats the oldest entries.
+        // the recent ones (1400 down to 1050) set the bar at their
+        // *fastest* run, so a 1500 ms run is a regression against the
+        // recent trend even though it beats the oldest entries.
         let fresh = entry("box/4t", 1500.0);
         let v = trend_gate(&history, &fresh);
         assert_eq!(v.baseline_runs, BASELINE_WINDOW);
-        assert!(v.baseline_median_ms < 1300.0, "{v:?}");
+        assert_eq!(v.baseline_ms, 1050.0, "{v:?}");
         assert!(!v.pass, "{v:?}");
         history.truncate(2); // only 2000/1950 remain -> fresh is faster
         assert!(trend_gate(&history, &fresh).pass);
+    }
+
+    #[test]
+    fn ratchet_holds_after_one_fast_run() {
+        // A speedup PR lands one 300 ms run among older 800 ms entries;
+        // the bar immediately ratchets to 300 ms and a return to 800 ms
+        // fails even though the window *median* is still ~800.
+        let history = vec![
+            entry("box/4t", 810.0),
+            entry("box/4t", 790.0),
+            entry("box/4t", 805.0),
+            entry("box/4t", 300.0),
+        ];
+        let v = trend_gate(&history, &entry("box/4t", 800.0));
+        assert_eq!(v.baseline_ms, 300.0);
+        assert!(!v.pass, "{v:?}");
+        assert!(trend_gate(&history, &entry("box/4t", 330.0)).pass);
     }
 
     #[test]

@@ -9,7 +9,6 @@
 //! identification, entropy measurement, and PII scanning.
 
 use crate::packet::{ParsedPacket, TransportHeader};
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Transport protocol of a flow.
@@ -117,22 +116,112 @@ impl Flow {
     }
 }
 
+impl FlowKey {
+    /// Packs the 5-tuple into one `u128`, field-ordered so that comparing
+    /// packed keys is exactly [`FlowKey`]'s derived lexicographic `Ord`
+    /// (local ip, local port, remote ip, remote port, proto) — the sort
+    /// in [`FlowTable::into_flows`] depends on this equivalence.
+    pub fn packed(&self) -> u128 {
+        (u128::from(u32::from(self.local_ip)) << 72)
+            | (u128::from(self.local_port) << 56)
+            | (u128::from(u32::from(self.remote_ip)) << 24)
+            | (u128::from(self.remote_port) << 8)
+            | (self.proto as u128)
+    }
+}
+
+/// Fibonacci hash of a packed key: the two halves are folded, multiplied
+/// by 2^64/φ, and the *top* bits index the slot array (the low bits of a
+/// Fibonacci product are poorly mixed).
+fn hash_packed(key: u128) -> u64 {
+    let folded = (key as u64) ^ ((key >> 64) as u64).rotate_left(31);
+    folded.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// Groups parsed packets into flows.
+///
+/// Internally an arena of [`Flow`]s plus an open-addressing index of
+/// packed 5-tuple keys: lookups are one multiply, a masked probe over a
+/// `u32` slot array (`flow index + 1`, `0` = empty), and a single `u128`
+/// compare — no per-lookup hashing of a multi-field struct and no
+/// per-entry heap box like `HashMap<FlowKey, Flow>` had. Iteration order
+/// over the arena is insertion order (first-packet order), which is
+/// deterministic; [`FlowTable::into_flows`] still sorts explicitly.
 #[derive(Debug)]
 pub struct FlowTable {
-    flows: HashMap<FlowKey, Flow>,
+    /// `flow index + 1` per slot; 0 marks an empty slot. Power-of-two
+    /// sized, linear probing, grown at ¾ load.
+    slots: Vec<u32>,
+    /// Packed key per arena entry, parallel to `flows`.
+    keys: Vec<u128>,
+    /// Flow arena, in first-observation order.
+    flows: Vec<Flow>,
     local_net: (Ipv4Addr, u8),
     payload_cap: usize,
 }
+
+const INITIAL_SLOTS: usize = 64;
 
 impl FlowTable {
     /// Creates a table for devices living inside `local_net` (address,
     /// prefix length) — the testbed's private IoT subnet.
     pub fn new(local_net: Ipv4Addr, prefix_len: u8) -> Self {
         FlowTable {
-            flows: HashMap::new(),
+            slots: vec![0; INITIAL_SLOTS],
+            keys: Vec::new(),
+            flows: Vec::new(),
             local_net: (local_net, prefix_len),
             payload_cap: DEFAULT_PAYLOAD_CAP,
+        }
+    }
+
+    /// Slot index of `packed`'s probe start.
+    fn probe_start(&self, packed: u128) -> usize {
+        // Top bits of the Fibonacci product, reduced to the table size.
+        let shift = 64 - self.slots.len().trailing_zeros();
+        (hash_packed(packed) >> shift) as usize
+    }
+
+    /// Finds the arena index for `packed`, inserting a new flow (created
+    /// by `make`) on first sight. Grows the slot array at ¾ load.
+    fn index_of(&mut self, packed: u128, make: impl FnOnce() -> Flow) -> usize {
+        if (self.flows.len() + 1) * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.probe_start(packed);
+        loop {
+            match self.slots[i] {
+                0 => {
+                    let idx = self.flows.len();
+                    self.slots[i] = idx as u32 + 1;
+                    self.keys.push(packed);
+                    self.flows.push(make());
+                    return idx;
+                }
+                s => {
+                    let idx = (s - 1) as usize;
+                    if self.keys[idx] == packed {
+                        return idx;
+                    }
+                    i = (i + 1) & mask;
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        self.slots.clear();
+        self.slots.resize(new_len, 0);
+        let shift = 64 - new_len.trailing_zeros();
+        let mask = new_len - 1;
+        for (idx, &key) in self.keys.iter().enumerate() {
+            let mut i = (hash_packed(key) >> shift) as usize;
+            while self.slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = idx as u32 + 1;
         }
     }
 
@@ -187,10 +276,8 @@ impl FlowTable {
             _ => return None,
         };
         let cap = self.payload_cap;
-        self.flows
-            .entry(key)
-            .or_insert_with(|| Flow::new(key, ts_micros))
-            .observe(dir, ts_micros, pkt.payload, cap);
+        let idx = self.index_of(key.packed(), || Flow::new(key, ts_micros));
+        self.flows[idx].observe(dir, ts_micros, pkt.payload, cap);
         Some(dir)
     }
 
@@ -204,14 +291,14 @@ impl FlowTable {
         self.flows.is_empty()
     }
 
-    /// Iterates over flows in an unspecified order.
+    /// Iterates over flows in first-observation order.
     pub fn iter(&self) -> impl Iterator<Item = &Flow> {
-        self.flows.values()
+        self.flows.iter()
     }
 
     /// Consumes the table, returning flows sorted by first-packet time.
     pub fn into_flows(self) -> Vec<Flow> {
-        let mut flows: Vec<Flow> = self.flows.into_values().collect();
+        let mut flows = self.flows;
         flows.sort_by_key(|f| (f.first_ts, f.key));
         flows
     }
@@ -310,5 +397,109 @@ mod tests {
         t.observe(&p1.parse().unwrap(), 0);
         t.observe(&p2.parse().unwrap(), 1);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn packed_key_order_matches_flowkey_ord() {
+        // into_flows ties on first_ts break by FlowKey's derived Ord; the
+        // packed u128 must induce the identical total order.
+        let mut rng = iot_core::rng::StdRng::seed_from_u64(0xF10F_F10F);
+        let mut keys = Vec::new();
+        for _ in 0..512 {
+            keys.push(FlowKey {
+                local_ip: Ipv4Addr::from(rng.gen::<u32>() & 0xffff00ff),
+                local_port: rng.gen::<u16>() & 0x0fff,
+                remote_ip: Ipv4Addr::from(rng.gen::<u32>() & 0x00ffffff),
+                remote_port: rng.gen::<u16>(),
+                proto: if rng.gen_bool(0.5) { FlowProto::Tcp } else { FlowProto::Udp },
+            });
+        }
+        for a in &keys {
+            for b in &keys {
+                assert_eq!(a.cmp(b), a.packed().cmp(&b.packed()), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    /// Property test (tentpole contract): the packed-key open-addressing
+    /// table is observationally identical to a naive `HashMap<FlowKey,
+    /// Flow>` across ≥64 seeded packet streams, including streams whose
+    /// 5-tuples are crafted to collide heavily in the probe space (tiny
+    /// IP/port ranges → many keys landing in the same buckets).
+    #[test]
+    fn packed_table_matches_hashmap_reference_seeded() {
+        use std::collections::HashMap;
+        for case in 0..64u64 {
+            let mut rng = iot_core::rng::StdRng::seed_from_u64(0xAB1E ^ (case << 8));
+            // Collision-heavy on even cases: 2 remote IPs × 8 ports etc.
+            let tight = case % 2 == 0;
+            let mut t = table();
+            let mut reference: HashMap<FlowKey, Flow> = HashMap::new();
+            for _ in 0..rng.gen_range(1usize..400) {
+                let (src, dst, sport, dport, out) = if rng.gen_bool(0.5) {
+                    // Outbound.
+                    let remote = if tight {
+                        Ipv4Addr::new(52, 84, 3, rng.gen_range(3u8..5))
+                    } else {
+                        Ipv4Addr::from(rng.gen::<u32>() | 0x0100_0000)
+                    };
+                    let sport = if tight { 40000 + rng.gen::<u16>() % 8 } else { rng.gen() };
+                    (DEV_IP, remote, sport, 443, true)
+                } else {
+                    let remote = Ipv4Addr::new(52, 84, 3, rng.gen_range(3u8..5));
+                    (remote, DEV_IP, 443, 40000 + rng.gen::<u16>() % 8, false)
+                };
+                let mut payload = vec![0u8; rng.gen_range(0usize..64)];
+                rng.fill(&mut payload);
+                let ts = u64::from(rng.gen::<u32>());
+                let (a_mac, b_mac) = if out { (DEV_MAC, GW_MAC) } else { (GW_MAC, DEV_MAC) };
+                let mut b = PacketBuilder::new(a_mac, b_mac, src, dst);
+                let raw = b.udp(ts, sport, dport, &payload);
+                let parsed = raw.parse().unwrap();
+                let dir = t.observe(&parsed, ts);
+                // Reference: the pre-optimization HashMap logic, verbatim.
+                let (key, rdir) = if src == DEV_IP {
+                    (
+                        FlowKey {
+                            local_ip: src,
+                            local_port: sport,
+                            remote_ip: dst,
+                            remote_port: dport,
+                            proto: FlowProto::Udp,
+                        },
+                        Direction::Outbound,
+                    )
+                } else {
+                    (
+                        FlowKey {
+                            local_ip: dst,
+                            local_port: dport,
+                            remote_ip: src,
+                            remote_port: sport,
+                            proto: FlowProto::Udp,
+                        },
+                        Direction::Inbound,
+                    )
+                };
+                assert_eq!(dir, Some(rdir));
+                reference
+                    .entry(key)
+                    .or_insert_with(|| Flow::new(key, ts))
+                    .observe(rdir, ts, &payload, DEFAULT_PAYLOAD_CAP);
+            }
+            assert_eq!(t.len(), reference.len(), "case {case}");
+            let mut expected: Vec<Flow> = reference.into_values().collect();
+            expected.sort_by_key(|f| (f.first_ts, f.key));
+            let actual = t.into_flows();
+            for (a, e) in actual.iter().zip(&expected) {
+                assert_eq!(a.key, e.key, "case {case}");
+                assert_eq!(a.first_ts, e.first_ts);
+                assert_eq!(a.last_ts, e.last_ts);
+                assert_eq!((a.packets_out, a.packets_in), (e.packets_out, e.packets_in));
+                assert_eq!((a.bytes_out, a.bytes_in), (e.bytes_out, e.bytes_in));
+                assert_eq!(a.payload_out, e.payload_out);
+                assert_eq!(a.payload_in, e.payload_in);
+            }
+        }
     }
 }

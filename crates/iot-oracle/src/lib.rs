@@ -39,6 +39,7 @@ pub mod differential;
 pub mod harness;
 pub mod invariants;
 pub mod metamorphic;
+pub mod results;
 
 pub use harness::{run_oracle, OracleOutcome};
 

@@ -38,7 +38,8 @@ fn main() {
     for lf in flows.internet_flows() {
         let label = lf
             .domain
-            .clone()
+            .as_deref()
+            .map(str::to_string)
             .unwrap_or_else(|| format!("{}", lf.remote_ip()));
         let (party, country) = match db.whois_ip(lf.remote_ip()) {
             Some((org, _, _)) => {
