@@ -16,6 +16,8 @@ use iot_testbed::device::{ActivityKind, Availability, Category};
 use iot_testbed::experiment::{ExperimentKind, LabeledExperiment};
 use iot_testbed::lab::LabSite;
 use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Experiment-type groups of Table 2's rows. A single experiment can fall
 /// into several (every controlled experiment is also "Control").
@@ -116,7 +118,11 @@ struct ObsKey {
     site: LabSite,
     vpn: bool,
     device: &'static str,
-    dest_key: String,
+    /// Interned: a labeled flow's domain `Arc` is shared with the flow
+    /// itself, and bare-IP keys are memoized per remote address, so
+    /// re-observing a known destination never allocates (the steady
+    /// state the pipeline's zero-allocation test pins).
+    dest_key: Arc<str>,
 }
 
 #[derive(Debug, Clone)]
@@ -158,6 +164,10 @@ impl DestCtx {
 pub struct DestinationAnalysis {
     db: GeoDb,
     observations: HashMap<ObsKey, ObsVal>,
+    /// Result-neutral memo of `ip:a.b.c.d` key strings for flows with no
+    /// domain label. Never merged: it is a cache keyed by full content,
+    /// so shards rebuilding entries independently cannot diverge.
+    ip_keys: HashMap<Ipv4Addr, Arc<str>>,
 }
 
 impl Default for DestinationAnalysis {
@@ -172,6 +182,7 @@ impl DestinationAnalysis {
         DestinationAnalysis {
             db: GeoDb::new(),
             observations: HashMap::new(),
+            ip_keys: HashMap::new(),
         }
     }
 
@@ -232,43 +243,66 @@ impl DestinationAnalysis {
         ctx: &DestCtx,
         lf: &crate::flows::LabeledFlow,
     ) {
+        let DestinationAnalysis {
+            db,
+            observations,
+            ip_keys,
+        } = self;
         let remote = lf.remote_ip();
-        // §4.1 party labeling: domain-based first, IP-owner fallback.
-        let (org, role) = match lf.domain.as_deref().and_then(|d| self.db.org_for_domain(d)) {
-            Some((org, role)) => (Some(org), Some(role)),
-            None => (self.db.whois_ip(remote).map(|(o, _, _)| o), None),
+        // Steady-state hot path: re-observing a known destination is one
+        // refcount bump plus one map probe. A labeled domain shares the
+        // flow's interned `Arc<str>`; a bare IP resolves through the
+        // per-address key memo.
+        let dest_key: Arc<str> = match &lf.domain {
+            Some(d) => Arc::clone(d),
+            None => match ip_keys.get(&remote) {
+                Some(k) => Arc::clone(k),
+                None => {
+                    let k: Arc<str> = format!("ip:{remote}").into();
+                    ip_keys.insert(remote, Arc::clone(&k));
+                    k
+                }
+            },
         };
-        let party = match org {
-            Some(org) => classify(org, role, ctx.manufacturer_org),
-            None => PartyType::Third, // unknown owner: worst case
-        };
-        let country = passport::infer_country(&self.db, remote, ctx.egress);
-        let dest_key = lf
-            .domain
-            .as_deref()
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("ip:{remote}"));
-        let party_key = lf
-            .domain
-            .as_deref()
-            .map(str::to_string)
-            .or_else(|| org.map(|o| format!("org:{}", o.name)))
-            .unwrap_or_else(|| format!("ip:{remote}"));
-        let entry = self
-            .observations
+        let entry = observations
             .entry(ObsKey {
                 site: exp.site,
                 vpn: exp.vpn,
                 device: exp.device_name,
                 dest_key,
             })
-            .or_insert(ObsVal {
-                party,
-                org_name: org.map(|o| o.name),
-                country,
-                party_key,
-                bytes: 0,
-                groups: 0,
+            .or_insert_with(|| {
+                // Cold path, first observation of this destination for
+                // this (site, vpn, device): label it. Party, org, and
+                // country are pure functions of the key (see `merge`),
+                // so labeling only the first observation is exactly
+                // equivalent to relabeling every flow.
+                // §4.1 party labeling: domain-based first, IP-owner
+                // fallback.
+                let (org, role) =
+                    match lf.domain.as_deref().and_then(|d| db.org_for_domain(d)) {
+                        Some((org, role)) => (Some(org), Some(role)),
+                        None => (db.whois_ip(remote).map(|(o, _, _)| o), None),
+                    };
+                let party = match org {
+                    Some(org) => classify(org, role, ctx.manufacturer_org),
+                    None => PartyType::Third, // unknown owner: worst case
+                };
+                let country = passport::infer_country(db, remote, ctx.egress);
+                let party_key = lf
+                    .domain
+                    .as_deref()
+                    .map(str::to_string)
+                    .or_else(|| org.map(|o| format!("org:{}", o.name)))
+                    .unwrap_or_else(|| format!("ip:{remote}"));
+                ObsVal {
+                    party,
+                    org_name: org.map(|o| o.name),
+                    country,
+                    party_key,
+                    bytes: 0,
+                    groups: 0,
+                }
             });
         entry.bytes += lf.flow.total_bytes();
         entry.groups |= ctx.groups;

@@ -56,7 +56,7 @@ use iot_core::json::{Json, ToJson};
 use iot_entropy::EncryptionClass;
 use iot_geodb::party::PartyType;
 use iot_geodb::registry::GeoDb;
-use iot_obs::Registry;
+use iot_obs::{AllocStats, Registry};
 use iot_protocols::analyzer::ProtocolId;
 use iot_testbed::catalog;
 use iot_testbed::experiment::LabeledExperiment;
@@ -350,9 +350,17 @@ fn analyze_experiment(
     };
     let pii_before = pii.len();
     let timing = obs.enabled();
+    // Per-stage heap accounting rides the same accumulate-then-record
+    // shape as the timers: snapshot the thread's allocator counters
+    // around each stage call, sum the deltas, record once per
+    // experiment. Only paid when the instrumented allocator is counting.
+    let counting = timing && iot_obs::alloc::enabled();
     let mut dest_ns = Duration::ZERO;
     let mut enc_ns = Duration::ZERO;
     let mut pii_ns = Duration::ZERO;
+    let mut dest_alloc = AllocStats::default();
+    let mut enc_alloc = AllocStats::default();
+    let mut pii_alloc = AllocStats::default();
     for lf in &flows.flows {
         if timing {
             obs.observe("flow_bytes", lf.flow.total_bytes());
@@ -363,7 +371,11 @@ fn analyze_experiment(
         if internet {
             if let Some(ctx) = &dest_ctx {
                 let t = timing.then(Instant::now);
+                let a = counting.then(iot_obs::alloc::thread_snapshot);
                 destinations.add_flow(exp, ctx, lf);
+                if let Some(a) = a {
+                    dest_alloc.merge(&iot_obs::alloc::thread_snapshot().since(&a));
+                }
                 if let Some(t) = t {
                     dest_ns += t.elapsed();
                 }
@@ -371,7 +383,11 @@ fn analyze_experiment(
         }
         {
             let t = timing.then(Instant::now);
+            let a = counting.then(iot_obs::alloc::thread_snapshot);
             encryption.add_flow(exp, &enc_rows, lf);
+            if let Some(a) = a {
+                enc_alloc.merge(&iot_obs::alloc::thread_snapshot().since(&a));
+            }
             if let Some(t) = t {
                 enc_ns += t.elapsed();
             }
@@ -379,9 +395,13 @@ fn analyze_experiment(
         if internet {
             if let Some((patterns, manufacturer_org)) = scan {
                 let t = timing.then(Instant::now);
+                let a = counting.then(iot_obs::alloc::thread_snapshot);
                 let hits = scan_flow(patterns, lf);
                 if !hits.is_empty() {
                     findings_for_flow(db, exp, manufacturer_org, lf, hits, pii);
+                }
+                if let Some(a) = a {
+                    pii_alloc.merge(&iot_obs::alloc::thread_snapshot().since(&a));
                 }
                 if let Some(t) = t {
                     pii_ns += t.elapsed();
@@ -393,6 +413,11 @@ fn analyze_experiment(
         obs.record_ns("ingest/destinations", dest_ns);
         obs.record_ns("ingest/encryption", enc_ns);
         obs.record_ns("ingest/pii", pii_ns);
+    }
+    if counting {
+        obs.record_alloc("ingest/destinations", dest_alloc);
+        obs.record_alloc("ingest/encryption", enc_alloc);
+        obs.record_alloc("ingest/pii", pii_alloc);
     }
     if identity.is_some() {
         obs.add("pii_findings", (pii.len() - pii_before) as u64);
@@ -514,6 +539,25 @@ impl Pipeline {
         self.ingest.merge(&shard.ingest);
         self.experiments += shard.experiments;
         self.obs.merge(shard.obs);
+        // Live-heap counter track for the wall-clock Chrome trace,
+        // sampled only at fold boundaries (outside any event stream, so
+        // the deterministic trace subset never sees it).
+        if iot_obs::alloc::enabled() {
+            self.obs
+                .counter_sample("alloc.live_bytes", iot_obs::alloc::process_live_bytes());
+        }
+    }
+
+    /// Stamps the calling worker thread's allocator high-water gauge at
+    /// shard end; gauges max-merge at fold time, so every worker's peak
+    /// survives into the run report.
+    fn record_shard_alloc_gauge(obs: &Registry, shard_idx: usize) {
+        if obs.enabled() && iot_obs::alloc::enabled() {
+            obs.set_gauge(
+                &format!("worker.{shard_idx}.alloc_high_water_bytes"),
+                iot_obs::alloc::thread_high_water_bytes() as f64,
+            );
+        }
     }
 
     /// Renders and publishes the live-telemetry documents when an
@@ -531,6 +575,18 @@ impl Pipeline {
         progress.set("phase", phase.to_json());
         progress.set("experiments", experiments.to_json());
         progress.set("ingest", ingest.to_json());
+        if iot_obs::alloc::enabled() {
+            let totals = iot_obs::alloc::process_totals();
+            let mut alloc = Json::obj();
+            alloc.set("bytes_total", totals.bytes_allocated.to_json());
+            alloc.set("allocs_total", totals.allocs.to_json());
+            alloc.set("live_bytes", iot_obs::alloc::process_live_bytes().to_json());
+            alloc.set(
+                "high_water_bytes",
+                iot_obs::alloc::process_high_water_bytes().to_json(),
+            );
+            progress.set("alloc", alloc);
+        }
         iot_obs::serve::publish(metrics, trace, progress.dump());
     }
 
@@ -565,6 +621,7 @@ impl Pipeline {
         if shard.obs.enabled() {
             shard.obs.set_gauge("worker.0.experiments", shard.experiments as f64);
         }
+        Self::record_shard_alloc_gauge(&shard.obs, 0);
         self.obs.set_gauge("workers", 1.0);
         self.absorb(shard);
         Self::publish_live(&self.obs, self.experiments, &self.ingest, "folded");
@@ -604,6 +661,7 @@ impl Pipeline {
         if shard.obs.enabled() {
             shard.obs.set_gauge("worker.0.experiments", shard.experiments as f64);
         }
+        Self::record_shard_alloc_gauge(&shard.obs, 0);
         self.obs.set_gauge("workers", 1.0);
         self.absorb(shard);
         Self::publish_live(&self.obs, self.experiments, &self.ingest, "folded");
@@ -654,6 +712,7 @@ impl Pipeline {
                                 shard.experiments as f64,
                             );
                         }
+                        Self::record_shard_alloc_gauge(&shard.obs, shard_idx);
                         shard
                     })
                 })
@@ -775,6 +834,25 @@ impl Pipeline {
         let report = self.build_report();
         let obs = self.obs;
         obs.record_ns("finish", start.elapsed());
+        // Campaign memory footprint, stamped once the report exists so
+        // the gauges cover the whole run: the allocator's own live/peak
+        // view plus the kernel's VmHWM upper bound. Gauges are excluded
+        // from the deterministic subset, so sharding-dependent byte
+        // counts never threaten report identity.
+        if obs.enabled() && iot_obs::alloc::enabled() {
+            obs.set_gauge(
+                "alloc.high_water_bytes",
+                iot_obs::alloc::process_high_water_bytes() as f64,
+            );
+            obs.set_gauge(
+                "alloc.live_bytes",
+                iot_obs::alloc::process_live_bytes() as f64,
+            );
+            if let Some(rss) = iot_obs::process::peak_rss_bytes() {
+                obs.set_gauge("peak_rss_bytes", rss as f64);
+            }
+            obs.counter_sample("alloc.live_bytes", iot_obs::alloc::process_live_bytes());
+        }
         Self::publish_live(&obs, report.experiments, &report.ingest, "finished");
         (report, obs)
     }
@@ -935,6 +1013,152 @@ mod tests {
         let mut replay = Pipeline::new();
         replay.ingest_experiments(experiments);
         assert_eq!(replay.finish().to_json().dump(), baseline_json);
+    }
+
+    /// The PR 6 hot-path invariant, pinned with the PR 7 instrument:
+    /// once the memo caches are warm (interned labels, compiled PII
+    /// patterns, protocol-ID memos, entropy term tables) and the
+    /// accumulator tables have seen every key, the fused per-flow loop
+    /// performs zero heap allocations per flow. Experiments whose scan
+    /// produced PII findings are excluded from the measured PII stage —
+    /// constructing a finding allocates by design; that is per-finding
+    /// work, not loop overhead.
+    #[test]
+    fn fused_per_flow_loop_is_allocation_free_after_warmup() {
+        let db = GeoDb::new();
+        let campaign = Campaign::new(tiny_config());
+        let identities = campaign_identities(&campaign);
+        let mut experiments: Vec<LabeledExperiment> = Vec::new();
+        campaign.run(&db, &mut |exp| experiments.push(exp));
+
+        let mut destinations = DestinationAnalysis::new();
+        let mut encryption = EncryptionAnalysis::default();
+        let mut pii: Vec<PiiFinding> = Vec::new();
+        let mut label_ctx = LabelCtx::new();
+        let mut pii_patterns = PatternCache::new();
+
+        // Warmup pass: materialize flows, run every stage, remember
+        // which experiments produced findings.
+        let mut corpus: Vec<(LabeledExperiment, ExperimentFlows, bool)> = Vec::new();
+        for exp in experiments {
+            let flows = ExperimentFlows::from_experiment_with(&exp, &mut label_ctx);
+            let dest_ctx = DestCtx::of(&exp);
+            let enc_rows = EncryptionAnalysis::rows_of(&exp);
+            let scan = match (
+                identities.get(&(exp.device_name, exp.site)),
+                catalog::by_name(exp.device_name),
+            ) {
+                (Some(identity), Some(spec)) => Some((
+                    pii_patterns.get(exp.device_name, exp.site, identity),
+                    spec.manufacturer_org,
+                )),
+                _ => None,
+            };
+            let pii_before = pii.len();
+            for lf in &flows.flows {
+                let internet =
+                    !matches!(lf.protocol, ProtocolId::Dns | ProtocolId::Dhcp);
+                if internet {
+                    if let Some(ctx) = &dest_ctx {
+                        destinations.add_flow(&exp, ctx, lf);
+                    }
+                }
+                encryption.add_flow(&exp, &enc_rows, lf);
+                if internet {
+                    if let Some((patterns, manufacturer_org)) = scan {
+                        let hits = scan_flow(patterns, lf);
+                        if !hits.is_empty() {
+                            findings_for_flow(
+                                &db,
+                                &exp,
+                                manufacturer_org,
+                                lf,
+                                hits,
+                                &mut pii,
+                            );
+                        }
+                    }
+                }
+            }
+            let had_findings = pii.len() > pii_before;
+            corpus.push((exp, flows, had_findings));
+        }
+        assert!(corpus.iter().any(|(.., f)| *f), "corpus must exercise PII");
+
+        // Measured pass over the very same flows: per-experiment stage
+        // context is rebuilt *outside* the measurement window (it is
+        // hoisted out of the flow loop in analyze_experiment too), then
+        // the loop itself must not touch the heap.
+        let was = iot_obs::alloc::enabled();
+        iot_obs::alloc::set_enabled(true);
+        let mut measured = AllocStats::default();
+        let mut stage_dest = AllocStats::default();
+        let mut stage_enc = AllocStats::default();
+        let mut stage_pii = AllocStats::default();
+        let mut flows_measured = 0u64;
+        for (exp, flows, had_findings) in &corpus {
+            let dest_ctx = DestCtx::of(exp);
+            let enc_rows = EncryptionAnalysis::rows_of(exp);
+            let scan = if *had_findings {
+                None
+            } else {
+                match (
+                    identities.get(&(exp.device_name, exp.site)),
+                    catalog::by_name(exp.device_name),
+                ) {
+                    (Some(identity), Some(spec)) => Some((
+                        pii_patterns.get(exp.device_name, exp.site, identity),
+                        spec.manufacturer_org,
+                    )),
+                    _ => None,
+                }
+            };
+            let before = iot_obs::alloc::thread_snapshot();
+            for lf in &flows.flows {
+                let internet =
+                    !matches!(lf.protocol, ProtocolId::Dns | ProtocolId::Dhcp);
+                if internet {
+                    if let Some(ctx) = &dest_ctx {
+                        let a = iot_obs::alloc::thread_snapshot();
+                        destinations.add_flow(exp, ctx, lf);
+                        stage_dest.merge(&iot_obs::alloc::thread_snapshot().since(&a));
+                    }
+                }
+                {
+                    let a = iot_obs::alloc::thread_snapshot();
+                    encryption.add_flow(exp, &enc_rows, lf);
+                    stage_enc.merge(&iot_obs::alloc::thread_snapshot().since(&a));
+                }
+                if internet {
+                    if let Some((patterns, manufacturer_org)) = scan {
+                        let a = iot_obs::alloc::thread_snapshot();
+                        let hits = scan_flow(patterns, lf);
+                        if !hits.is_empty() {
+                            findings_for_flow(
+                                &db,
+                                exp,
+                                manufacturer_org,
+                                lf,
+                                hits,
+                                &mut pii,
+                            );
+                        }
+                        stage_pii.merge(&iot_obs::alloc::thread_snapshot().since(&a));
+                    }
+                }
+                flows_measured += 1;
+            }
+            measured.merge(&iot_obs::alloc::thread_snapshot().since(&before));
+        }
+        iot_obs::alloc::set_enabled(was);
+        assert!(flows_measured > 1000, "need a real corpus: {flows_measured}");
+        assert_eq!(
+            measured.allocs, 0,
+            "fused per-flow loop must be allocation-free after warmup \
+             ({flows_measured} flows): {measured:?}\n dest: {stage_dest:?}\n \
+             enc: {stage_enc:?}\n pii: {stage_pii:?}"
+        );
+        assert_eq!(measured.bytes_allocated, 0);
     }
 
     #[test]

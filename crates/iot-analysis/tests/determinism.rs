@@ -95,6 +95,65 @@ fn instrumentation_does_not_change_the_pipeline_report() {
     assert!(reg.counter("experiments") > 0, "obs run must actually record");
 }
 
+/// Serializes the tests that toggle the process-global allocator
+/// counting flag, so one cannot flip it mid-measurement of another.
+fn alloc_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn alloc_counting_does_not_change_the_pipeline_report() {
+    let _guard = alloc_test_lock();
+    let was = iot_obs::alloc::enabled();
+    iot_obs::alloc::set_enabled(false);
+    let (plain, _) = run(true, None);
+    iot_obs::alloc::set_enabled(true);
+    let (counted, reg) = run(true, None);
+    let parallel = run(true, Some(2)).0;
+    iot_obs::alloc::set_enabled(was);
+    assert_eq!(
+        plain, counted,
+        "allocator counting must not affect the pipeline report"
+    );
+    assert_eq!(
+        plain, parallel,
+        "allocator counting must not affect the parallel report either"
+    );
+    // The counting run must actually have attributed heap traffic to the
+    // ingest stages — proof the instrumentation was live, not a no-op.
+    let report = RunReport::from_registry("det", &reg);
+    let j = report.to_json();
+    let spans = j.get("spans").expect("spans section");
+    let ingest = spans.get("ingest").expect("ingest span");
+    assert!(ingest.get("alloc_bytes").is_some(), "ingest span missing alloc data");
+}
+
+#[test]
+fn serial_allocation_totals_are_deterministic() {
+    let _guard = alloc_test_lock();
+    let was = iot_obs::alloc::enabled();
+    iot_obs::alloc::set_enabled(true);
+    // Warmup run: pays one-time global costs (interned span paths, lazy
+    // statics) so the measured runs see identical starting state.
+    let _ = run(false, None);
+    let measure = || {
+        let before = iot_obs::alloc::thread_snapshot();
+        let (report, _) = run(false, None);
+        (iot_obs::alloc::thread_snapshot().since(&before), report)
+    };
+    let (a, report_a) = measure();
+    let (b, report_b) = measure();
+    iot_obs::alloc::set_enabled(was);
+    assert_eq!(report_a, report_b, "serial reports must repeat exactly");
+    assert!(a.allocs > 0, "a full campaign surely allocates");
+    assert_eq!(
+        (a.bytes_allocated, a.allocs),
+        (b.bytes_allocated, b.allocs),
+        "serial allocation traffic must be a pure function of the corpus"
+    );
+}
+
 #[test]
 fn obs_deterministic_report_is_byte_identical_across_workers() {
     let (_, serial_reg) = run(true, None);

@@ -6,12 +6,17 @@
 //! driver, verifies the two reports are byte-identical, and writes the
 //! timing summary to `BENCH_pipeline.json`.
 //!
-//! The baseline benches force observability *off* (regardless of
-//! `IOT_OBS`, so the committed trajectory stays comparable), then a third
-//! bench re-runs the serial driver with observability forced *on*; the
-//! ratio of the two medians is the instrumentation overhead that
-//! `obs_check` gates in `verify.sh`. When `IOT_OBS` is set, an
-//! `iot_obs::RunReport` for one instrumented run is written to
+//! The baseline benches force observability *and* allocator counting
+//! *off* (regardless of `IOT_OBS` / `IOT_OBS_ALLOC`, so the committed
+//! trajectory stays comparable), then paired benches re-run the serial
+//! driver with observability forced *on* (`obs_overhead_ratio`) and with
+//! only heap counting forced on (`alloc_overhead_ratio`); `obs_check`
+//! gates both ratios in `verify.sh`. A dedicated counting-on serial run
+//! yields the committed `alloc` block — total heap traffic,
+//! allocations per experiment (ratcheted per host by `bench_trend`),
+//! high-water, and kernel peak RSS — and must reproduce the baseline
+//! report byte for byte (`alloc_report_identical`). When `IOT_OBS` is
+//! set, an `iot_obs::RunReport` for one instrumented run is written to
 //! `IOT_OBS_OUT` (default `results/obs_run.json`).
 //!
 //! Environment knobs:
@@ -86,6 +91,14 @@ fn main() {
         scale.name()
     );
 
+    // Resolve the obs config once (it may flip allocator counting on via
+    // IOT_OBS_ALLOC), then take manual control: the committed timing
+    // trajectory is always measured with heap counting *off*, and the
+    // allocator sections below force it on explicitly, so the numbers are
+    // comparable regardless of the caller's environment.
+    iot_obs::enabled();
+    iot_obs::alloc::set_enabled(false);
+
     // Correctness gates first: the parallel driver must reproduce the
     // serial report byte for byte, and turning instrumentation on must
     // not change the report, before any timing means anything.
@@ -95,6 +108,29 @@ fn main() {
     if !identical {
         eprintln!("bench_pipeline: FAIL — parallel report diverged from serial");
     }
+    // Allocator byte-identity gate *and* the committed heap measurement,
+    // from one serial run with heap counting on and observability off —
+    // counting alone must not perturb the report, and with the run on a
+    // single thread the thread-local delta is the pipeline's entire heap
+    // traffic. The high-water mark is reset first so it reflects this
+    // run's heap growth, not earlier gate runs.
+    iot_obs::alloc::set_enabled(true);
+    iot_obs::alloc::reset_high_water();
+    let alloc_before = iot_obs::alloc::thread_snapshot();
+    let alloc_json = serial_report_json(config, false);
+    let alloc_traffic = iot_obs::alloc::thread_snapshot().since(&alloc_before);
+    let alloc_high_water = iot_obs::alloc::process_high_water_bytes();
+    iot_obs::alloc::set_enabled(false);
+    let alloc_report_identical = alloc_json == serial_json;
+    if !alloc_report_identical {
+        eprintln!("bench_pipeline: FAIL — allocator-counted report diverged from baseline");
+    }
+
+    // The instrumented runs keep counting on so their artifacts (obs
+    // report, Prometheus exposition, stage table) carry per-span heap
+    // attribution; the identity gate below then covers obs + allocator
+    // combined against the plain baseline.
+    iot_obs::alloc::set_enabled(true);
     let (obs_report, obs_registry) = {
         let mut p = Pipeline::with_obs(true);
         p.run_campaign_parallel(config, workers);
@@ -115,6 +151,7 @@ fn main() {
         p.run_campaign(config);
         p.finish_with_obs().1
     };
+    iot_obs::alloc::set_enabled(false);
     let serial_timeline = serial_obs_registry.timeline();
     let parallel_timeline = obs_registry.timeline();
     let det_serial = chrome_trace(&serial_timeline, TraceMode::Deterministic).dump();
@@ -193,8 +230,36 @@ fn main() {
         iters,
         obs_ms,
     );
+    // Allocator-counting overhead, measured the same interleaved way but
+    // with observability off on both sides: counting-off run, counting-on
+    // run, per iteration. This isolates the atomic/thread-local counter
+    // cost from the span/event cost gated above.
+    let mut alloc_base_ms = Vec::with_capacity(iters);
+    let mut alloc_on_ms = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        iot_obs::alloc::set_enabled(false);
+        let t = std::time::Instant::now();
+        std::hint::black_box(serial_report_json(config, false));
+        alloc_base_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        iot_obs::alloc::set_enabled(true);
+        let t = std::time::Instant::now();
+        std::hint::black_box(serial_report_json(config, false));
+        alloc_on_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    iot_obs::alloc::set_enabled(false);
+    let serial_alloc_base = iot_bench::harness::BenchResult::new(
+        "pipeline_alloc_baseline".to_string(),
+        iters,
+        alloc_base_ms,
+    );
+    let serial_alloc = iot_bench::harness::BenchResult::new(
+        "pipeline_alloc_on".to_string(),
+        iters,
+        alloc_on_ms,
+    );
     let speedup = serial.median_ms() / parallel.median_ms();
     let obs_overhead = serial_obs.median_ms() / serial_base.median_ms();
+    let alloc_overhead = serial_alloc.median_ms() / serial_alloc_base.median_ms();
 
     // Per-stage medians from the instrumented *serial* run's span
     // histograms — the same histograms the flight-recorder stage table
@@ -215,6 +280,12 @@ fn main() {
         let q = |q: f64| hist.quantile_upper_bound(q).map(|ns| ns as f64 / 1e6);
         s.set("p50_ms", q(0.5).to_json());
         s.set("p95_ms", q(0.95).to_json());
+        // Heap traffic attributed to the stage while counting was on —
+        // the per-stage byte budget the docs table quotes.
+        if let Some(a) = serial_snap.span_allocs.get(path) {
+            s.set("alloc_bytes", a.bytes_allocated.to_json());
+            s.set("allocs", a.allocs.to_json());
+        }
         stages.set(path, s);
     }
 
@@ -226,6 +297,7 @@ fn main() {
     out.set("hw_threads", hw_threads.to_json());
     out.set("reports_identical", identical.to_json());
     out.set("obs_report_identical", obs_identical.to_json());
+    out.set("alloc_report_identical", alloc_report_identical.to_json());
     out.set("trace_deterministic_identical", trace_det_identical.to_json());
     out.set(
         "events_recorded",
@@ -236,8 +308,26 @@ fn main() {
     out.set("parallel", parallel.to_json());
     out.set("serial_obs_baseline", serial_base.to_json());
     out.set("serial_obs", serial_obs.to_json());
+    out.set("serial_alloc_baseline", serial_alloc_base.to_json());
+    out.set("serial_alloc", serial_alloc.to_json());
     out.set("speedup_median", speedup.to_json());
     out.set("obs_overhead_ratio", obs_overhead.to_json());
+    out.set("alloc_overhead_ratio", alloc_overhead.to_json());
+    let mut alloc_block = Json::obj();
+    alloc_block.set("bytes_total", alloc_traffic.bytes_allocated.to_json());
+    alloc_block.set("allocs_total", alloc_traffic.allocs.to_json());
+    alloc_block.set("freed_bytes_total", alloc_traffic.bytes_freed.to_json());
+    alloc_block.set("frees_total", alloc_traffic.frees.to_json());
+    alloc_block.set(
+        "allocs_per_experiment",
+        (alloc_traffic.allocs as f64 / experiments.max(1) as f64).to_json(),
+    );
+    alloc_block.set("high_water_bytes", alloc_high_water.to_json());
+    alloc_block.set(
+        "peak_rss_bytes",
+        iot_obs::process::peak_rss_bytes().unwrap_or(0).to_json(),
+    );
+    out.set("alloc", alloc_block);
     out.set("stages", stages);
     out.set(
         "note",
@@ -247,7 +337,10 @@ fn main() {
          median with IOT_OBS instrumentation (spans + flight-recorder \
          events) forced on / forced off, measured on interleaved pairs \
          (serial_obs vs serial_obs_baseline); gated <1.05 by obs_check in \
-         verify.sh"
+         verify.sh. alloc_overhead_ratio = the same interleaved comparison \
+         with only heap counting toggled (obs off both sides), gated <1.05. \
+         alloc = one serial run's heap traffic with counting on; \
+         allocs_per_experiment is ratcheted per host by bench_trend."
             .to_json(),
     );
 
@@ -271,11 +364,19 @@ fn main() {
     iot_obs::progress!(
         "bench_pipeline: serial median {:.1} ms, parallel median {:.1} ms \
          ({workers} workers), speedup {speedup:.2}x, obs overhead \
-         {obs_overhead:.3}x -> {path}",
+         {obs_overhead:.3}x, alloc overhead {alloc_overhead:.3}x, \
+         {:.1} MB / {} allocs per campaign (high-water {:.1} MB) -> {path}",
         serial.median_ms(),
-        parallel.median_ms()
+        parallel.median_ms(),
+        alloc_traffic.bytes_allocated as f64 / 1e6,
+        alloc_traffic.allocs,
+        alloc_high_water as f64 / 1e6
     );
-    if !identical || !obs_identical || (!trace_det_identical && trace_det_enforced) {
+    if !identical
+        || !obs_identical
+        || !alloc_report_identical
+        || (!trace_det_identical && trace_det_enforced)
+    {
         std::process::exit(1);
     }
 }

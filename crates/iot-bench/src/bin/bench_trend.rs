@@ -9,9 +9,11 @@
 //! Converts the fresh `bench_pipeline` output into a
 //! [`iot_bench::history::HistoryEntry`], gates it against the recorded
 //! trajectory (same host fingerprint / scale / workers only; >15% serial
-//! median regression fails — see `iot_bench::history`), and appends the
-//! entry to the history file regardless of verdict, so even a failing
-//! run leaves its trace in the trajectory.
+//! median regression fails — see `iot_bench::history`), applies the
+//! allocation ratchet (same axes plus memory fingerprint; >10% more
+//! allocations per experiment than the window's leanest run fails), and
+//! appends the entry to the history file regardless of verdict, so even
+//! a failing run leaves its trace in the trajectory.
 //!
 //! Exits non-zero on a regression (or unreadable input), so `verify.sh`
 //! can gate on it.
@@ -38,14 +40,16 @@ fn run(bench_path: &str, history_path: &str) -> Result<bool, String> {
         history_path.display()
     );
     println!("bench_trend: {}", verdict.summary());
+    let alloc_verdict = history::alloc_trend_gate(&history, &fresh);
+    println!("bench_trend: {}", alloc_verdict.summary());
 
     history::append(history_path, &fresh)
         .map_err(|e| format!("{}: append failed: {e}", history_path.display()))?;
     println!(
-        "bench_trend: appended entry (host {}, scale {}, {} worker(s))",
-        fresh.host, fresh.scale, fresh.workers
+        "bench_trend: appended entry (host {}, scale {}, {} worker(s), mem {})",
+        fresh.host, fresh.scale, fresh.workers, fresh.mem
     );
-    Ok(verdict.pass)
+    Ok(verdict.pass && alloc_verdict.pass)
 }
 
 fn main() -> ExitCode {
@@ -61,8 +65,9 @@ fn main() -> ExitCode {
         }
         Ok(false) => {
             eprintln!(
-                "bench_trend: FAIL — median regression beyond {}x",
-                history::MAX_REGRESSION_RATIO
+                "bench_trend: FAIL — regression beyond {}x (time) or {}x (allocs)",
+                history::MAX_REGRESSION_RATIO,
+                history::MAX_ALLOC_REGRESSION_RATIO
             );
             ExitCode::FAILURE
         }

@@ -17,7 +17,14 @@
 //! 4. the instrumentation overhead measured by the fresh bench run
 //!    (`obs_overhead_ratio`) stays under 5%, with a small absolute
 //!    tolerance so sub-millisecond noise on tiny grids cannot fail the
-//!    gate spuriously.
+//!    gate spuriously;
+//! 5. the allocator accounting is live and cheap: the bench's `alloc`
+//!    block carries non-zero heap traffic, the counting-on run
+//!    reproduced the baseline report byte for byte
+//!    (`alloc_report_identical`), `alloc_overhead_ratio` stays under the
+//!    same 5% ceiling, the report attributes heap bytes to the ingest
+//!    span and carries the end-of-run allocator gauges, and the
+//!    Prometheus exposition includes the per-span memory series.
 //!
 //! The optional third argument is the committed benchmark trajectory;
 //! its comparison is warn-only because absolute times from a different
@@ -122,6 +129,8 @@ fn check_exports(
     for needle in [
         "# TYPE iot_experiments_total counter",
         "# TYPE iot_span_duration_ns histogram",
+        "# TYPE iot_span_alloc_bytes_total counter",
+        "iot_span_allocs_total{",
         "_bucket{",
         "_sum ",
         "_count ",
@@ -181,6 +190,22 @@ fn check(
         return Err(format!("{obs_path}: no per-worker shard-size gauges"));
     }
     println!("obs_check: {worker_gauges} per-worker gauge(s)");
+    // bench_pipeline keeps heap counting on for the instrumented runs,
+    // so the report must carry per-span heap attribution and the
+    // end-of-run allocator gauges.
+    let ingest_alloc = spans
+        .iter()
+        .find(|(k, _)| k == "ingest")
+        .and_then(|(_, s)| s.get("alloc_bytes"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if ingest_alloc == 0 {
+        return Err(format!("{obs_path}: ingest span has no alloc_bytes attribution"));
+    }
+    if gauges.iter().all(|(k, _)| k != "alloc.high_water_bytes") {
+        return Err(format!("{obs_path}: missing gauge \"alloc.high_water_bytes\""));
+    }
+    println!("obs_check: ingest span charged {ingest_alloc} heap bytes");
 
     // 4. Overhead gate on the fresh in-process measurement.
     let ratio = bench
@@ -213,6 +238,58 @@ fn check(
     {
         return Err(format!(
             "{bench_path}: instrumented pipeline report diverged from baseline"
+        ));
+    }
+
+    // 5. Allocator accounting: the counting-on run must have measured
+    // real heap traffic, reproduced the baseline report byte for byte,
+    // and cost under the same overhead ceiling as the span layer.
+    let alloc = bench
+        .get("alloc")
+        .ok_or_else(|| format!("{bench_path}: no alloc block"))?;
+    for field in ["bytes_total", "allocs_total", "high_water_bytes"] {
+        let v = alloc.get(field).and_then(Json::as_u64).unwrap_or(0);
+        if v == 0 {
+            return Err(format!("{bench_path}: alloc.{field} is zero or missing"));
+        }
+    }
+    let allocs_per_exp = alloc
+        .get("allocs_per_experiment")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    println!(
+        "obs_check: alloc {} bytes / {} allocs per campaign ({allocs_per_exp:.1} \
+         allocs/experiment), high-water {} bytes",
+        alloc.get("bytes_total").and_then(Json::as_u64).unwrap_or(0),
+        alloc.get("allocs_total").and_then(Json::as_u64).unwrap_or(0),
+        alloc.get("high_water_bytes").and_then(Json::as_u64).unwrap_or(0),
+    );
+    if !bench
+        .get("alloc_report_identical")
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+    {
+        return Err(format!(
+            "{bench_path}: allocator-counted pipeline report diverged from baseline"
+        ));
+    }
+    let alloc_ratio = bench
+        .get("alloc_overhead_ratio")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{bench_path}: no alloc_overhead_ratio"))?;
+    let alloc_base = median_ms(&bench, "serial_alloc_baseline")
+        .ok_or_else(|| format!("{bench_path}: no serial_alloc_baseline median"))?;
+    let alloc_on = median_ms(&bench, "serial_alloc")
+        .ok_or_else(|| format!("{bench_path}: no serial_alloc median"))?;
+    let alloc_delta = alloc_on - alloc_base;
+    println!(
+        "obs_check: alloc overhead ratio {alloc_ratio:.4} (serial {alloc_base:.1} ms -> \
+         counting {alloc_on:.1} ms, delta {alloc_delta:+.1} ms)"
+    );
+    if alloc_ratio > MAX_OVERHEAD_RATIO && alloc_delta > ABS_TOLERANCE_MS {
+        return Err(format!(
+            "allocator overhead {alloc_ratio:.4}x exceeds {MAX_OVERHEAD_RATIO}x \
+             (delta {alloc_delta:.1} ms > {ABS_TOLERANCE_MS} ms tolerance)"
         ));
     }
 

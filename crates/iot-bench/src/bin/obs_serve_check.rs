@@ -12,7 +12,9 @@
 //!    `traceEvents` array;
 //! 4. the final `/progress` ledger satisfies the `IngestStats`
 //!    conservation invariant (`generated + duplicated == ingested +
-//!    dropped + lost + quarantined`) even under an armed fault plan;
+//!    dropped + lost + quarantined`) even under an armed fault plan,
+//!    and — with the instrumented allocator counting — carries a live
+//!    `alloc` block while `/metrics` carries the per-span memory series;
 //! 5. unknown routes answer 404 and non-GET methods answer 405.
 //!
 //! Exits non-zero on any failure, so `verify.sh` can gate on it.
@@ -76,6 +78,10 @@ fn ingest_field(progress: &Json, field: &str) -> Result<u64, String> {
 fn check() -> Result<(), String> {
     let addr = iot_obs::serve::start("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
     println!("obs_serve_check: endpoint on {addr}");
+    // Heap counting on, so the live surfaces must carry the allocator
+    // series: per-span memory counters in /metrics, the alloc block in
+    // /progress.
+    iot_obs::alloc::set_enabled(true);
 
     // A small campaign, instrumented and lightly faulted so quarantine
     // accounting is exercised, on a worker thread so the endpoint can be
@@ -121,6 +127,7 @@ fn check() -> Result<(), String> {
         "_sum ",
         "_count ",
         "iot_span_duration_ns_bucket{span=\"ingest\",le=",
+        "iot_span_alloc_bytes_total{span=",
     ] {
         if !metrics.contains(needle) {
             return Err(format!("/metrics: missing {needle:?} in:\n{metrics}"));
@@ -171,6 +178,17 @@ fn check() -> Result<(), String> {
         "obs_serve_check: /progress ledger reconciles \
          ({generated} generated, {quarantined} quarantined)"
     );
+    // With counting on, the publication must include live heap facts.
+    let alloc_bytes = progress
+        .get("progress")
+        .and_then(|p| p.get("alloc"))
+        .and_then(|a| a.get("bytes_total"))
+        .and_then(Json::as_u64)
+        .ok_or("/progress: missing progress.alloc.bytes_total")?;
+    if alloc_bytes == 0 {
+        return Err("/progress: alloc.bytes_total is zero with counting on".to_string());
+    }
+    println!("obs_serve_check: /progress alloc block OK ({alloc_bytes} bytes allocated)");
 
     // 5. Error paths.
     let (status, _) = get(addr, "/nope")?;

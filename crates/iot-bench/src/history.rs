@@ -41,6 +41,20 @@ pub const ABS_TOLERANCE_MS: f64 = 140.0;
 /// How many most-recent comparable entries form the baseline window.
 pub const BASELINE_WINDOW: usize = 8;
 
+/// Hard ceiling on fresh allocations-per-experiment / baseline before
+/// the allocation ratchet fails. Much tighter than the timing gate:
+/// serial allocation counts are exactly deterministic for a given corpus
+/// (the determinism suite byte-compares them), so the only legitimate
+/// same-host variance is a code change.
+pub const MAX_ALLOC_REGRESSION_RATIO: f64 = 1.10;
+
+/// Absolute slack for the allocation ratchet, in allocations per
+/// experiment: a hash-map resize landing on the other side of a
+/// threshold after a corpus tweak moves the count by a handful, not by
+/// the hundreds a real hot-path regression (e.g. re-introducing
+/// per-flow label formatting) costs.
+pub const ALLOC_ABS_TOLERANCE: f64 = 64.0;
+
 /// One recorded benchmark run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistoryEntry {
@@ -62,6 +76,15 @@ pub struct HistoryEntry {
     pub parallel_p95_ms: f64,
     /// Instrumented-over-baseline serial median ratio.
     pub obs_overhead_ratio: f64,
+    /// Memory facts fingerprint (`pg<page-size>/ram<bucket>g`) — a
+    /// *separate* axis from [`HistoryEntry::host`] so entries recorded
+    /// before it existed stay comparable for the timing gate; only the
+    /// allocation ratchet keys on it. Empty on pre-allocation entries.
+    pub mem: String,
+    /// Heap allocations per experiment from the counting-on serial run
+    /// (`alloc.allocs_per_experiment` in the bench JSON). Zero on
+    /// pre-allocation entries, which exempts them from the ratchet.
+    pub allocs_per_exp: f64,
 }
 
 /// This machine's coarse identity: `hostname/<hw-threads>t`.
@@ -76,6 +99,60 @@ pub fn host_fingerprint() -> String {
         .map(|n| n.get())
         .unwrap_or(1);
     format!("{host}/{threads}t")
+}
+
+/// The kernel's page size, from the ELF auxiliary vector
+/// (`/proc/self/auxv`, `AT_PAGESZ` = 6); 4096 when unreadable. Read
+/// directly rather than via libc so the crate stays std-only.
+pub fn page_size() -> u64 {
+    let Ok(auxv) = std::fs::read("/proc/self/auxv") else {
+        return 4096;
+    };
+    for pair in auxv.chunks_exact(16) {
+        let key = u64::from_ne_bytes(pair[..8].try_into().unwrap());
+        let val = u64::from_ne_bytes(pair[8..].try_into().unwrap());
+        if key == 6 && val > 0 {
+            return val;
+        }
+    }
+    4096
+}
+
+/// Total system RAM bucketed to the enclosing power-of-two GiB range
+/// (`"4-8"`, `"8-16"`, `"0-1"` under a gigabyte, `"?"` when
+/// `/proc/meminfo` is unreadable). Buckets, not exact kilobytes: the
+/// fingerprint should distinguish "same class of box", and survive a few
+/// MB of firmware-reserved drift across reboots of the same machine.
+pub fn ram_bucket() -> String {
+    let Some(kb) = std::fs::read_to_string("/proc/meminfo")
+        .ok()
+        .and_then(|text| {
+            text.lines().find_map(|l| {
+                l.strip_prefix("MemTotal:")?
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse::<u64>()
+                    .ok()
+            })
+        })
+    else {
+        return "?".to_string();
+    };
+    let gib = kb / (1 << 20);
+    if gib == 0 {
+        return "0-1".to_string();
+    }
+    let lower = 1u64 << (63 - gib.leading_zeros());
+    format!("{lower}-{}", lower * 2)
+}
+
+/// This machine's memory-facts identity: `pg<page-size>/ram<bucket>g`,
+/// e.g. `pg4096/ram4-8g`. Keyed separately from [`host_fingerprint`]
+/// because allocation counts care about allocator-visible geometry
+/// (page size, memory class), not thread count.
+pub fn mem_fingerprint() -> String {
+    format!("pg{}/ram{}g", page_size(), ram_bucket())
 }
 
 impl HistoryEntry {
@@ -109,6 +186,12 @@ impl HistoryEntry {
                 .get("obs_overhead_ratio")
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0),
+            mem: mem_fingerprint(),
+            allocs_per_exp: bench
+                .get("alloc")
+                .and_then(|a| a.get("allocs_per_experiment"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
         })
     }
 
@@ -126,12 +209,35 @@ impl HistoryEntry {
             parallel_median_ms: j.get("parallel_median_ms")?.as_f64()?,
             parallel_p95_ms: j.get("parallel_p95_ms")?.as_f64()?,
             obs_overhead_ratio: j.get("obs_overhead_ratio")?.as_f64()?,
+            // Added after the first recorded entries: default rather
+            // than reject, or the committed history resets to zero the
+            // day a field lands.
+            mem: j
+                .get("mem")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            allocs_per_exp: j
+                .get("allocs_per_exp")
+                .and_then(Json::as_f64)
+                .unwrap_or_default(),
         })
     }
 
     /// Whether `other` is a valid regression baseline for this run.
     pub fn comparable_to(&self, other: &HistoryEntry) -> bool {
         self.host == other.host && self.scale == other.scale && self.workers == other.workers
+    }
+
+    /// Whether `other` can baseline this run's *allocation* ratchet:
+    /// timing-comparable, same memory fingerprint, and both sides
+    /// actually measured (pre-allocation entries carry zero).
+    pub fn alloc_comparable_to(&self, other: &HistoryEntry) -> bool {
+        self.comparable_to(other)
+            && !self.mem.is_empty()
+            && self.mem == other.mem
+            && self.allocs_per_exp > 0.0
+            && other.allocs_per_exp > 0.0
     }
 }
 
@@ -147,6 +253,8 @@ impl ToJson for HistoryEntry {
         j.set("parallel_median_ms", self.parallel_median_ms.to_json());
         j.set("parallel_p95_ms", self.parallel_p95_ms.to_json());
         j.set("obs_overhead_ratio", self.obs_overhead_ratio.to_json());
+        j.set("mem", self.mem.to_json());
+        j.set("allocs_per_exp", self.allocs_per_exp.to_json());
         j
     }
 }
@@ -263,6 +371,84 @@ pub fn trend_gate(history: &[HistoryEntry], fresh: &HistoryEntry) -> TrendVerdic
     }
 }
 
+/// Outcome of the allocation ratchet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocVerdict {
+    /// Alloc-comparable baseline entries found (same host/scale/workers
+    /// *and* memory fingerprint, measurement present on both sides).
+    pub baseline_runs: usize,
+    /// Fewest allocations-per-experiment in the baseline window.
+    pub baseline_allocs_per_exp: f64,
+    /// The fresh run's allocations per experiment.
+    pub current_allocs_per_exp: f64,
+    /// `current / baseline` (1.0 when no baseline exists).
+    pub ratio: f64,
+    /// Whether the gate passes.
+    pub pass: bool,
+}
+
+impl AllocVerdict {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        if self.baseline_runs == 0 {
+            return format!(
+                "no alloc-comparable history; seeding trajectory at {:.1} allocs/experiment",
+                self.current_allocs_per_exp
+            );
+        }
+        format!(
+            "{:.1} allocs/experiment vs ratchet baseline {:.1} (window best \
+             of {} run(s), {:.2}x, limit {MAX_ALLOC_REGRESSION_RATIO}x) — {}",
+            self.current_allocs_per_exp,
+            self.baseline_allocs_per_exp,
+            self.baseline_runs,
+            self.ratio,
+            if self.pass { "ok" } else { "ALLOC REGRESSION" }
+        )
+    }
+}
+
+/// The allocation analogue of [`trend_gate`]: fails when the fresh run's
+/// allocations-per-experiment exceed the window-minimum baseline by more
+/// than [`MAX_ALLOC_REGRESSION_RATIO`] *and* more than
+/// [`ALLOC_ABS_TOLERANCE`]. Same ratchet semantics — one lean run holds
+/// the bar — but keyed additionally on the memory fingerprint, and
+/// exempting entries recorded before allocation accounting existed.
+pub fn alloc_trend_gate(history: &[HistoryEntry], fresh: &HistoryEntry) -> AllocVerdict {
+    let mut window: Vec<f64> = history
+        .iter()
+        .filter(|e| fresh.alloc_comparable_to(e))
+        .map(|e| e.allocs_per_exp)
+        .collect();
+    if window.len() > BASELINE_WINDOW {
+        window.drain(..window.len() - BASELINE_WINDOW);
+    }
+    let baseline_runs = window.len();
+    if baseline_runs == 0 {
+        return AllocVerdict {
+            baseline_runs: 0,
+            baseline_allocs_per_exp: 0.0,
+            current_allocs_per_exp: fresh.allocs_per_exp,
+            ratio: 1.0,
+            pass: true,
+        };
+    }
+    let baseline = window.iter().copied().fold(f64::INFINITY, f64::min);
+    let ratio = if baseline > 0.0 {
+        fresh.allocs_per_exp / baseline
+    } else {
+        1.0
+    };
+    let delta = fresh.allocs_per_exp - baseline;
+    AllocVerdict {
+        baseline_runs,
+        baseline_allocs_per_exp: baseline,
+        current_allocs_per_exp: fresh.allocs_per_exp,
+        ratio,
+        pass: ratio <= MAX_ALLOC_REGRESSION_RATIO || delta <= ALLOC_ABS_TOLERANCE,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +464,15 @@ mod tests {
             parallel_median_ms: serial_ms / 2.0,
             parallel_p95_ms: serial_ms / 1.8,
             obs_overhead_ratio: 1.01,
+            mem: "pg4096/ram4-8g".to_string(),
+            allocs_per_exp: 400.0,
+        }
+    }
+
+    fn alloc_entry(host: &str, allocs_per_exp: f64) -> HistoryEntry {
+        HistoryEntry {
+            allocs_per_exp,
+            ..entry(host, 250.0)
         }
     }
 
@@ -380,5 +575,66 @@ mod tests {
         let fp = host_fingerprint();
         assert!(fp.contains('/'), "{fp}");
         assert!(fp.ends_with('t'), "{fp}");
+    }
+
+    #[test]
+    fn mem_fingerprint_shape() {
+        let fp = mem_fingerprint();
+        assert!(fp.starts_with("pg"), "{fp}");
+        assert!(fp.contains("/ram"), "{fp}");
+        assert!(fp.ends_with('g') || fp.ends_with('?'), "{fp}");
+        assert!(page_size() >= 4096, "{}", page_size());
+        assert!(page_size().is_power_of_two());
+    }
+
+    #[test]
+    fn pre_allocation_lines_parse_with_defaults() {
+        // A committed line from before the mem/alloc fields existed must
+        // keep parsing (defaulted), or landing the fields would silently
+        // reset every recorded trajectory.
+        let old_line = "{\"unix_secs\":1,\"host\":\"box/4t\",\"scale\":\"quick\",\
+                        \"workers\":2,\"serial_median_ms\":100.0,\
+                        \"serial_p95_ms\":110.0,\"parallel_median_ms\":50.0,\
+                        \"parallel_p95_ms\":55.0,\"obs_overhead_ratio\":1.01}";
+        let parsed = HistoryEntry::parse(old_line).expect("old line must parse");
+        assert_eq!(parsed.serial_median_ms, 100.0);
+        assert_eq!(parsed.mem, "");
+        assert_eq!(parsed.allocs_per_exp, 0.0);
+        // And such entries never baseline the allocation ratchet…
+        let fresh = entry("box/4t", 100.0);
+        assert!(!fresh.alloc_comparable_to(&parsed));
+        // …but still baseline the timing gate.
+        assert!(fresh.comparable_to(&parsed));
+    }
+
+    #[test]
+    fn alloc_gate_requires_matching_mem_and_measurement() {
+        let fresh = alloc_entry("box/4t", 450.0);
+        // Different memory fingerprint: not a baseline.
+        let mut other_mem = alloc_entry("box/4t", 100.0);
+        other_mem.mem = "pg16384/ram4-8g".to_string();
+        // Unmeasured (pre-allocation) entry: not a baseline.
+        let unmeasured = alloc_entry("box/4t", 0.0);
+        let v = alloc_trend_gate(&[other_mem, unmeasured], &fresh);
+        assert!(v.pass, "{v:?}");
+        assert_eq!(v.baseline_runs, 0);
+    }
+
+    #[test]
+    fn alloc_ratchet_holds_after_one_lean_run() {
+        let history = vec![
+            alloc_entry("box/4t", 900.0),
+            alloc_entry("box/4t", 880.0),
+            alloc_entry("box/4t", 400.0), // the lean run sets the bar
+        ];
+        let bad = alloc_trend_gate(&history, &alloc_entry("box/4t", 900.0));
+        assert_eq!(bad.baseline_allocs_per_exp, 400.0);
+        assert!(!bad.pass, "{bad:?}");
+        assert!(bad.summary().contains("ALLOC REGRESSION"));
+        let ok = alloc_trend_gate(&history, &alloc_entry("box/4t", 430.0));
+        assert!(ok.pass, "{ok:?}");
+        // Small absolute creep under the slack passes even over-ratio.
+        let tiny = alloc_trend_gate(&[alloc_entry("box/4t", 50.0)], &alloc_entry("box/4t", 90.0));
+        assert!(tiny.pass, "{tiny:?}");
     }
 }

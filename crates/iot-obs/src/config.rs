@@ -16,6 +16,11 @@
 //! * `IOT_OBS_EVENTS` — per-shard event-ring capacity for the flight
 //!   recorder (default [`DEFAULT_EVENT_CAPACITY`]; `0` disables event
 //!   recording while keeping aggregate metrics).
+//! * `IOT_OBS_ALLOC` — `1` turns on the instrumented global allocator
+//!   (see [`crate::alloc`]); independent of `IOT_OBS` so memory can be
+//!   profiled without span recording and vice versa. The allocator
+//!   itself never reads the environment (that would allocate); this
+//!   module flips its flag when the config is first resolved.
 
 use crate::events::DEFAULT_EVENT_CAPACITY;
 use std::sync::OnceLock;
@@ -34,6 +39,8 @@ pub struct ObsConfig {
     pub serve_addr: Option<String>,
     /// Flight-recorder ring capacity per shard (`IOT_OBS_EVENTS`).
     pub event_capacity: usize,
+    /// Instrumented-allocator gate (`IOT_OBS_ALLOC`).
+    pub alloc: bool,
 }
 
 impl ObsConfig {
@@ -53,11 +60,19 @@ impl ObsConfig {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .unwrap_or(DEFAULT_EVENT_CAPACITY);
+        let alloc = std::env::var("IOT_OBS_ALLOC")
+            .ok()
+            .map(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0"
+            })
+            .unwrap_or(false);
         ObsConfig {
             verbosity,
             out_path,
             serve_addr,
             event_capacity,
+            alloc,
         }
     }
 }
@@ -66,7 +81,17 @@ impl ObsConfig {
 /// use and cached for the lifetime of the process.
 pub fn global() -> &'static ObsConfig {
     static CONFIG: OnceLock<ObsConfig> = OnceLock::new();
-    CONFIG.get_or_init(ObsConfig::from_env)
+    CONFIG.get_or_init(|| {
+        let cfg = ObsConfig::from_env();
+        // The allocator cannot read IOT_OBS_ALLOC itself (env access
+        // allocates, which would recurse); arm it here, once, when the
+        // config first resolves. Benches may still override later via
+        // `alloc::set_enabled`.
+        if cfg.alloc {
+            crate::alloc::set_enabled(true);
+        }
+        cfg
+    })
 }
 
 /// Whether metric recording is enabled (`IOT_OBS >= 1`).
@@ -99,6 +124,9 @@ mod tests {
         }
         if std::env::var("IOT_OBS_EVENTS").is_err() {
             assert_eq!(c.event_capacity, DEFAULT_EVENT_CAPACITY);
+        }
+        if std::env::var("IOT_OBS_ALLOC").is_err() {
+            assert!(!c.alloc);
         }
     }
 

@@ -219,6 +219,23 @@ pub fn prometheus(snap: &Snapshot) -> String {
             write_histogram(&mut out, "iot_span_duration_ns", &labels, h);
         }
     }
+    // Memory series — absent unless the instrumented allocator counted
+    // (span_allocs drops all-zero entries), so scrapes with
+    // IOT_OBS_ALLOC=0 are byte-identical to the pre-memory exposition.
+    if !snap.span_allocs.is_empty() {
+        for (family, pick) in [
+            ("iot_span_alloc_bytes_total", 0usize),
+            ("iot_span_allocs_total", 1),
+            ("iot_span_freed_bytes_total", 2),
+            ("iot_span_frees_total", 3),
+        ] {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            for (path, a) in &snap.span_allocs {
+                let v = [a.bytes_allocated, a.allocs, a.bytes_freed, a.frees][pick];
+                let _ = writeln!(out, "{family}{{span=\"{}\"}} {v}", escape_label(path));
+            }
+        }
+    }
     out
 }
 
@@ -294,6 +311,30 @@ mod tests {
         assert!(text.contains("iot_flow_bytes_count 2"));
         assert!(text.contains("iot_span_calls_total{span=\"ingest\"} 1"));
         assert!(text.contains("iot_span_duration_ns_bucket{span=\"ingest\",le=\"2047\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_memory_series_appear_only_with_alloc_data() {
+        let r = Registry::with_event_capacity(true, 0);
+        r.record_ns("ingest", Duration::from_nanos(100));
+        let quiet = prometheus(&r.snapshot());
+        assert!(!quiet.contains("iot_span_alloc"), "{quiet}");
+
+        r.record_alloc(
+            "ingest",
+            crate::alloc::AllocStats {
+                bytes_allocated: 4096,
+                allocs: 3,
+                bytes_freed: 1024,
+                frees: 1,
+            },
+        );
+        let text = prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE iot_span_alloc_bytes_total counter"), "{text}");
+        assert!(text.contains("iot_span_alloc_bytes_total{span=\"ingest\"} 4096"));
+        assert!(text.contains("iot_span_allocs_total{span=\"ingest\"} 3"));
+        assert!(text.contains("iot_span_freed_bytes_total{span=\"ingest\"} 1024"));
+        assert!(text.contains("iot_span_frees_total{span=\"ingest\"} 1"));
     }
 
     #[test]

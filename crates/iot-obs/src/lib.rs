@@ -11,6 +11,9 @@
 //!
 //! * [`registry`] — the [`Registry`]: shard-local counters, gauges,
 //!   fixed-bucket histograms, and hierarchical spans.
+//! * [`alloc`] — the instrumented global allocator (`IOT_OBS_ALLOC`):
+//!   thread-local byte/count/live/high-water accounting whose span
+//!   deltas the registry attributes to the current span path.
 //! * [`span`] — [`SpanStats`] and the RAII [`SpanGuard`] returned by
 //!   [`Registry::span`]: wall-clock plus call counts aggregated per
 //!   `parent/child` label path.
@@ -52,9 +55,14 @@
 //! gauges are intrinsically run-dependent and only appear in the full
 //! [`RunReport::to_json`].
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one exception is `alloc`, whose
+// `GlobalAlloc` impl is unavoidably unsafe and carries its own
+// module-level `#![allow(unsafe_code)]` plus SAFETY argument. Every
+// other module still rejects unsafe at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod config;
 pub mod events;
 pub mod export;
@@ -66,6 +74,7 @@ pub mod report;
 pub mod serve;
 pub mod span;
 
+pub use alloc::AllocStats;
 pub use config::{enabled, verbose};
 pub use events::{Event, EventKind, EventRing, Timeline};
 pub use export::{chrome_trace, prometheus, TraceMode};

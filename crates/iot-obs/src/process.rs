@@ -48,8 +48,31 @@ pub fn record_study_capture(packets: usize) {
     PACKETS_GENERATED.fetch_add(packets as u64, Ordering::Relaxed);
 }
 
-/// Cumulative totals since process start, in a stable order.
+/// The process's peak resident set size in bytes, from the kernel's
+/// `VmHWM` accounting (`/proc/self/status`). Measures a different thing
+/// than the allocator's high-water: RSS includes code, stacks, and
+/// allocator slack, but only counts pages actually *touched* — a large
+/// `Vec::with_capacity` reservation or calloc-backed zero pages raise
+/// the requested high-water without ever becoming resident, so neither
+/// number bounds the other. Returns `None` off Linux or if the field is
+/// missing.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Cumulative totals since process start, in a stable order. The
+/// allocator totals are zero unless `IOT_OBS_ALLOC` (or
+/// [`crate::alloc::set_enabled`]) turned counting on; `peak_rss_bytes`
+/// is zero on platforms without `/proc`.
 pub fn snapshot() -> Vec<(&'static str, u64)> {
+    let alloc = crate::alloc::process_totals();
     vec![
         (
             "experiments_generated",
@@ -58,6 +81,14 @@ pub fn snapshot() -> Vec<(&'static str, u64)> {
         ("packets_generated", PACKETS_GENERATED.load(Ordering::Relaxed)),
         ("idle_captures", IDLE_CAPTURES.load(Ordering::Relaxed)),
         ("study_captures", STUDY_CAPTURES.load(Ordering::Relaxed)),
+        ("alloc_bytes_total", alloc.bytes_allocated),
+        ("allocs_total", alloc.allocs),
+        ("alloc_live_bytes", crate::alloc::process_live_bytes()),
+        (
+            "alloc_high_water_bytes",
+            crate::alloc::process_high_water_bytes(),
+        ),
+        ("peak_rss_bytes", peak_rss_bytes().unwrap_or(0)),
     ]
 }
 
@@ -84,10 +115,25 @@ mod tests {
                 "experiments_generated",
                 "packets_generated",
                 "idle_captures",
-                "study_captures"
+                "study_captures",
+                "alloc_bytes_total",
+                "allocs_total",
+                "alloc_live_bytes",
+                "alloc_high_water_bytes",
+                "peak_rss_bytes",
             ]
         );
         let j = snapshot_json().dump();
         assert!(j.starts_with("{\"experiments_generated\":"), "{j}");
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        if let Some(rss) = peak_rss_bytes() {
+            // A running Rust test binary surely holds over 1 MB and
+            // under 1 TB resident.
+            assert!(rss > 1 << 20, "{rss}");
+            assert!(rss < 1 << 40, "{rss}");
+        }
     }
 }

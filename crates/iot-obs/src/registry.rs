@@ -25,6 +25,7 @@
 //! [`SpanStats`], so reports can derive p50/p95 from exactly the same
 //! bucket bounds the Prometheus exporter emits.
 
+use crate::alloc::{self, AllocStats};
 use crate::events::{Event, EventKind, EventRing, Timeline};
 use crate::metrics::Histogram;
 use crate::span::SpanStats;
@@ -49,6 +50,11 @@ struct Inner {
     span_paths: Vec<String>,
     span_stats: Vec<SpanStats>,
     span_hists: Vec<Histogram>,
+    /// Heap traffic charged to each slot while its span was open (only
+    /// populated when the instrumented allocator is counting; all-zero
+    /// entries are dropped from snapshots so reports stay clean when
+    /// memory profiling is off).
+    span_allocs: Vec<AllocStats>,
     /// `children[0]` holds slots opened at the root; `children[s + 1]`
     /// holds slots opened while slot `s` was the innermost open span.
     /// Entries are `(label, slot)`; the lists are short (one per distinct
@@ -74,6 +80,7 @@ impl Inner {
             span_paths: Vec::new(),
             span_stats: Vec::new(),
             span_hists: Vec::new(),
+            span_allocs: Vec::new(),
             children: vec![Vec::new()],
             stack: Vec::new(),
             events,
@@ -97,6 +104,7 @@ impl Inner {
         self.span_paths.push(path);
         self.span_stats.push(SpanStats::default());
         self.span_hists.push(Histogram::default());
+        self.span_allocs.push(AllocStats::default());
         self.children.push(Vec::new());
         self.children[ci].push((label.to_string(), slot));
         slot
@@ -113,6 +121,7 @@ impl Inner {
         self.span_paths.push(path.to_string());
         self.span_stats.push(SpanStats::default());
         self.span_hists.push(Histogram::default());
+        self.span_allocs.push(AllocStats::default());
         self.children.push(Vec::new());
         self.children[0].push((path.to_string(), slot));
         slot
@@ -132,6 +141,25 @@ impl Inner {
             }
         }
         spans
+    }
+
+    /// Aggregated per-span heap traffic keyed by full path; all-zero
+    /// entries are omitted so the map is empty (and serializes to
+    /// nothing) whenever the allocator never counted.
+    fn span_allocs_by_path(&self) -> BTreeMap<String, AllocStats> {
+        let mut allocs: BTreeMap<String, AllocStats> = BTreeMap::new();
+        for (p, a) in self.span_paths.iter().zip(&self.span_allocs) {
+            if a.is_zero() {
+                continue;
+            }
+            match allocs.get_mut(p) {
+                Some(e) => e.merge(a),
+                None => {
+                    allocs.insert(p.clone(), *a);
+                }
+            }
+        }
+        allocs
     }
 
     /// Aggregated span-duration histograms keyed by full path.
@@ -311,6 +339,7 @@ impl Registry {
                 start: None,
                 depth: 0,
                 slot: 0,
+                alloc_start: None,
             };
         }
         let mut inner = self.inner.borrow_mut();
@@ -332,11 +361,17 @@ impl Registry {
                 0,
             );
         }
+        // Snapshot the thread's allocation counters *after* the span's
+        // own bookkeeping above, so first-use path interning is not
+        // charged to the span. Nested spans include their children's
+        // traffic, exactly as wall-clock does.
+        let alloc_start = alloc::enabled().then(alloc::thread_snapshot);
         SpanGuard {
             reg: self,
             start: Some(start),
             depth,
             slot,
+            alloc_start,
         }
     }
 
@@ -356,12 +391,41 @@ impl Registry {
         inner.span_hists[slot].observe(ns);
     }
 
+    /// Records externally measured heap traffic against a span path —
+    /// the allocation analogue of [`Registry::record_ns`], for fused
+    /// regions that accumulate per-stage deltas manually instead of
+    /// opening one guard per stage.
+    pub fn record_alloc(&self, path: &str, stats: AllocStats) {
+        if !self.enabled || stats.is_zero() {
+            return;
+        }
+        let mut inner = self.inner.borrow_mut();
+        let slot = inner.intern_full(path);
+        inner.span_allocs[slot].merge(&stats);
+    }
+
+    /// Emits a counter-sample flight-recorder event *without* touching
+    /// the counters map — for run-dependent quantities (live heap
+    /// bytes) that belong on a Chrome-trace counter track but must stay
+    /// out of the deterministic counter subset. Callers only sample at
+    /// stream-free boundaries (shard start/end, fold points), so the
+    /// deterministic trace view — stream events only — never sees one.
+    pub fn counter_sample(&self, name: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(ring) = self.inner.borrow_mut().events.as_mut() {
+            ring.record(EventKind::Counter, name, value);
+        }
+    }
+
     /// Folds `other` into `self`. Merged data combines regardless of
     /// either registry's enablement (enablement only gates recording).
     pub fn merge(&self, other: Registry) {
         let mut other = other.inner.into_inner();
         let other_spans = other.spans_by_path();
         let other_hists = other.span_hists_by_path();
+        let other_allocs = other.span_allocs_by_path();
         let other_ring = other.events.take().map(EventRing::into_parts);
         let mut inner = self.inner.borrow_mut();
         for (k, v) in other.counters {
@@ -389,6 +453,10 @@ impl Registry {
         for (path, hist) in other_hists {
             let slot = inner.intern_full(&path);
             inner.span_hists[slot].merge(&hist);
+        }
+        for (path, stats) in other_allocs {
+            let slot = inner.intern_full(&path);
+            inner.span_allocs[slot].merge(&stats);
         }
         // Fold the shard's ring (and anything it had itself merged) into
         // the unbounded merged-event store; the global timeline is the
@@ -435,6 +503,7 @@ impl Registry {
             histograms: inner.histograms.clone(),
             spans: inner.spans_by_path(),
             span_durations: inner.span_hists_by_path(),
+            span_allocs: inner.span_allocs_by_path(),
         }
     }
 
@@ -461,8 +530,20 @@ impl Registry {
         Timeline::new(labels, events, overwritten)
     }
 
-    fn close_span(&self, depth: usize, slot: usize, start: Instant, elapsed: Duration) {
+    fn close_span(
+        &self,
+        depth: usize,
+        slot: usize,
+        start: Instant,
+        elapsed: Duration,
+        alloc_delta: Option<AllocStats>,
+    ) {
         let mut inner = self.inner.borrow_mut();
+        if let Some(d) = alloc_delta {
+            if !d.is_zero() {
+                inner.span_allocs[slot].merge(&d);
+            }
+        }
         // Guards normally drop innermost-first; truncating below this
         // guard's depth also closes any leaked inner spans, and a guard
         // outliving its parent still records under the slot resolved at
@@ -489,13 +570,21 @@ pub struct SpanGuard<'a> {
     start: Option<Instant>,
     depth: usize,
     slot: usize,
+    /// Thread allocation counters at open time, captured only when the
+    /// instrumented allocator was counting; the close charges the delta
+    /// to this span's path.
+    alloc_start: Option<AllocStats>,
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(start) = self.start {
+            let elapsed = start.elapsed();
+            let alloc_delta = self
+                .alloc_start
+                .map(|s| alloc::thread_snapshot().since(&s));
             self.reg
-                .close_span(self.depth, self.slot, start, start.elapsed());
+                .close_span(self.depth, self.slot, start, elapsed, alloc_delta);
         }
     }
 }
@@ -515,6 +604,12 @@ pub struct Snapshot {
     /// bounds with every other [`Histogram`] so table quantiles and the
     /// Prometheus exposition can never disagree.
     pub span_durations: BTreeMap<String, Histogram>,
+    /// Heap traffic attributed to each span path (empty unless the
+    /// instrumented allocator was counting — see [`crate::alloc`]).
+    /// Allocation counts depend on sharding, so this section lives with
+    /// spans in the run-dependent report, never in the deterministic
+    /// subset.
+    pub span_allocs: BTreeMap<String, AllocStats>,
 }
 
 #[cfg(test)]
@@ -713,6 +808,92 @@ mod tests {
         let outer = Registry::with_event_capacity(true, 16);
         outer.merge(target);
         assert_eq!(outer.timeline().events.len(), 5);
+    }
+
+    #[test]
+    fn span_allocs_attribute_heap_traffic_to_the_open_span() {
+        let _g = alloc::test_lock();
+        let was = alloc::enabled();
+        alloc::set_enabled(true);
+        let r = Registry::with_event_capacity(true, 0);
+        {
+            let _outer = r.span("outer");
+            let v: Vec<u8> = std::hint::black_box(Vec::with_capacity(8192));
+            drop(v);
+            {
+                let _inner = r.span("leaf");
+                let v: Vec<u8> = std::hint::black_box(Vec::with_capacity(2048));
+                drop(v);
+            }
+        }
+        alloc::set_enabled(was);
+        let snap = r.snapshot();
+        let outer = snap.span_allocs["outer"];
+        let leaf = snap.span_allocs["outer/leaf"];
+        assert!(leaf.bytes_allocated >= 2048, "leaf: {leaf:?}");
+        // The parent includes its child's traffic, as wall-clock does.
+        assert!(
+            outer.bytes_allocated >= 8192 + leaf.bytes_allocated,
+            "outer: {outer:?} leaf: {leaf:?}"
+        );
+        assert!(outer.frees >= 2);
+    }
+
+    #[test]
+    fn snapshot_omits_zero_alloc_spans() {
+        // Allocator off: spans record time but span_allocs stays empty,
+        // so reports with IOT_OBS_ALLOC=0 serialize no alloc fields.
+        let _g = alloc::test_lock();
+        let was = alloc::enabled();
+        alloc::set_enabled(false);
+        let r = Registry::with_event_capacity(true, 0);
+        {
+            let _s = r.span("quiet");
+            let v: Vec<u8> = std::hint::black_box(Vec::with_capacity(4096));
+            drop(v);
+        }
+        alloc::set_enabled(was);
+        let snap = r.snapshot();
+        assert_eq!(snap.spans["quiet"].calls, 1);
+        assert!(snap.span_allocs.is_empty());
+    }
+
+    #[test]
+    fn record_alloc_merges_by_path_like_record_ns() {
+        let a = Registry::with_event_capacity(true, 0);
+        let b = Registry::with_event_capacity(true, 0);
+        let stats = |bytes, n| AllocStats {
+            bytes_allocated: bytes,
+            allocs: n,
+            bytes_freed: bytes / 2,
+            frees: n / 2,
+        };
+        a.record_alloc("ingest/pii", stats(100, 4));
+        b.record_alloc("ingest/pii", stats(60, 2));
+        b.record_alloc("ingest/destinations", stats(8, 2));
+        b.record_alloc("zero", AllocStats::default()); // no-op
+        a.merge(b);
+        let snap = a.snapshot();
+        assert_eq!(snap.span_allocs["ingest/pii"], stats(160, 6));
+        assert_eq!(snap.span_allocs["ingest/destinations"], stats(8, 2));
+        assert!(!snap.span_allocs.contains_key("zero"));
+    }
+
+    #[test]
+    fn counter_sample_emits_event_without_counter() {
+        let r = Registry::with_event_capacity(true, 16);
+        r.counter_sample("alloc.live_bytes", 12345);
+        assert_eq!(r.counter("alloc.live_bytes"), 0);
+        assert!(!r.snapshot().counters.contains_key("alloc.live_bytes"));
+        let t = r.timeline();
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].kind, EventKind::Counter);
+        assert_eq!(t.events[0].delta, 12345);
+        assert_eq!(t.events[0].stream, 0, "samples live outside streams");
+        // With events disabled it is a complete no-op.
+        let quiet = Registry::with_event_capacity(true, 0);
+        quiet.counter_sample("alloc.live_bytes", 1);
+        assert!(quiet.timeline().events.is_empty());
     }
 
     #[test]

@@ -73,6 +73,15 @@ impl RunReport {
                 s.set("p50_ms", p50.to_json());
                 s.set("p95_ms", p95.to_json());
             }
+            // Heap traffic charged to the span while it was open — only
+            // present when the instrumented allocator was counting, so
+            // IOT_OBS_ALLOC=0 reports serialize exactly as before.
+            if let Some(a) = self.snapshot.span_allocs.get(path) {
+                s.set("alloc_bytes", a.bytes_allocated.to_json());
+                s.set("allocs", a.allocs.to_json());
+                s.set("freed_bytes", a.bytes_freed.to_json());
+                s.set("frees", a.frees.to_json());
+            }
             spans.set(path, s);
         }
         j.set("spans", spans);
@@ -126,8 +135,11 @@ impl RunReport {
     /// Renders the spans as an aligned text table: one row per label
     /// path with call count, total/mean wall-clock, histogram-derived
     /// per-call p50/p95, and the percentage column relative to the total
-    /// wall-clock of the top-level (un-nested) spans.
+    /// wall-clock of the top-level (un-nested) spans. When the
+    /// instrumented allocator contributed data, two extra columns show
+    /// the heap traffic charged to each span (`alloc_mb`, `allocs`).
     pub fn stage_table(&self) -> String {
+        let has_alloc = !self.snapshot.span_allocs.is_empty();
         let rows: Vec<(String, u64, f64, f64, f64, f64)> = self
             .snapshot
             .spans
@@ -152,9 +164,13 @@ impl RunReport {
             .unwrap_or(5);
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<name_w$}  {:>9}  {:>12}  {:>10}  {:>10}  {:>10}  {:>6}\n",
+            "{:<name_w$}  {:>9}  {:>12}  {:>10}  {:>10}  {:>10}  {:>6}",
             "stage", "calls", "total_ms", "mean_ms", "p50_ms", "p95_ms", "%"
         ));
+        if has_alloc {
+            out.push_str(&format!("  {:>11}  {:>11}", "alloc_mb", "allocs"));
+        }
+        out.push('\n');
         for (path, calls, total, mean, p50, p95) in rows {
             let pct = if root_total_ms > 0.0 {
                 total * 100.0 / root_total_ms
@@ -163,8 +179,15 @@ impl RunReport {
             };
             out.push_str(&format!(
                 "{path:<name_w$}  {calls:>9}  {total:>12.3}  {mean:>10.4}  \
-                 {p50:>10.4}  {p95:>10.4}  {pct:>6.1}\n"
+                 {p50:>10.4}  {p95:>10.4}  {pct:>6.1}"
             ));
+            if has_alloc {
+                let a = self.snapshot.span_allocs.get(&path);
+                let mb = a.map_or(0.0, |a| a.bytes_allocated as f64 / 1e6);
+                let n = a.map_or(0, |a| a.allocs);
+                out.push_str(&format!("  {mb:>11.2}  {n:>11}"));
+            }
+            out.push('\n');
         }
         out
     }
@@ -250,6 +273,41 @@ mod tests {
         assert!(table.lines().count() >= 3);
         // Child shows up as ~75% of the root wall-clock.
         assert!(table.contains("75.0"), "{table}");
+    }
+
+    #[test]
+    fn alloc_sections_appear_only_when_recorded() {
+        let quiet = RunReport::from_registry("test", &sample_registry());
+        let j = quiet.to_json();
+        let span = j.get("spans").and_then(|s| s.get("pipeline")).unwrap();
+        assert!(span.get("alloc_bytes").is_none());
+        assert!(!quiet.stage_table().contains("alloc_mb"));
+
+        let reg = sample_registry();
+        reg.record_alloc(
+            "pipeline",
+            crate::alloc::AllocStats {
+                bytes_allocated: 2_000_000,
+                allocs: 7,
+                bytes_freed: 1_500_000,
+                frees: 5,
+            },
+        );
+        let loud = RunReport::from_registry("test", &reg);
+        let j = loud.to_json();
+        let span = j.get("spans").and_then(|s| s.get("pipeline")).unwrap();
+        assert_eq!(span.get("alloc_bytes"), Some(&Json::UInt(2_000_000)));
+        assert_eq!(span.get("allocs"), Some(&Json::UInt(7)));
+        assert_eq!(span.get("freed_bytes"), Some(&Json::UInt(1_500_000)));
+        assert_eq!(span.get("frees"), Some(&Json::UInt(5)));
+        let table = loud.stage_table();
+        assert!(table.contains("alloc_mb"), "{table}");
+        assert!(table.contains("2.00"), "{table}");
+        // The deterministic subset never carries alloc data.
+        assert_eq!(
+            loud.deterministic_json().dump(),
+            quiet.deterministic_json().dump()
+        );
     }
 
     #[test]

@@ -36,6 +36,26 @@ fn golden_registry() -> Registry {
     r.record_ns("ingest", Duration::from_micros(300));
     r.record_ns("ingest/decode", Duration::from_micros(40));
     r.record_ns("shard", Duration::from_millis(2));
+    // Fixed heap attribution — exercises the memory series without the
+    // instrumented allocator (whose live numbers would not be golden).
+    r.record_alloc(
+        "ingest",
+        iot_obs::AllocStats {
+            bytes_allocated: 262144,
+            allocs: 96,
+            bytes_freed: 131072,
+            frees: 40,
+        },
+    );
+    r.record_alloc(
+        "ingest/decode",
+        iot_obs::AllocStats {
+            bytes_allocated: 4096,
+            allocs: 8,
+            bytes_freed: 4096,
+            frees: 8,
+        },
+    );
     r
 }
 
@@ -73,6 +93,11 @@ fn golden_exposition_is_well_formed() {
         "iot_span_calls_total{span=\"ingest/decode\"} 1",
         "# TYPE iot_span_duration_ns histogram",
         "iot_span_duration_ns_count{span=\"shard\"} 1",
+        "# TYPE iot_span_alloc_bytes_total counter",
+        "iot_span_alloc_bytes_total{span=\"ingest\"} 262144",
+        "iot_span_allocs_total{span=\"ingest/decode\"} 8",
+        "iot_span_freed_bytes_total{span=\"ingest\"} 131072",
+        "iot_span_frees_total{span=\"ingest\"} 40",
     ] {
         assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }

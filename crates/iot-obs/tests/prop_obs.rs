@@ -68,6 +68,62 @@ fn merge_equals_serial_over_random_shardings() {
 }
 
 #[test]
+fn alloc_merge_is_associative_and_commutative() {
+    // 64 seeded cases: a random stream of per-span allocation records,
+    // dealt across 2/3/7 shards and folded in a rotated order, must
+    // reproduce the serial registry's snapshot exactly — the law that
+    // lets worker threads account heap traffic independently.
+    const PATHS: [&str; 4] = ["ingest", "ingest/destinations", "ingest/pii", "finish"];
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xA110C + seed);
+        let ops: Vec<(usize, iot_obs::AllocStats)> = (0..150)
+            .map(|_| {
+                let bytes = rng.gen_range(0u64..1 << 20);
+                let n = rng.gen_range(0u64..64);
+                (
+                    rng.gen_range(0u64..PATHS.len() as u64) as usize,
+                    iot_obs::AllocStats {
+                        bytes_allocated: bytes,
+                        allocs: n,
+                        bytes_freed: bytes / 2,
+                        frees: n / 2,
+                    },
+                )
+            })
+            .collect();
+        let serial = Registry::with_enabled(true);
+        for &(p, a) in &ops {
+            serial.record_alloc(PATHS[p], a);
+        }
+        let serial_snap = serial.snapshot();
+        assert!(!serial_snap.span_allocs.is_empty(), "seed {seed}");
+        for num_shards in [2usize, 3, 7] {
+            let mut shards: Vec<Registry> = (0..num_shards)
+                .map(|s| {
+                    let reg = Registry::with_enabled(true);
+                    for (i, &(p, a)) in ops.iter().enumerate() {
+                        if i % num_shards == s {
+                            reg.record_alloc(PATHS[p], a);
+                        }
+                    }
+                    reg
+                })
+                .collect();
+            shards.rotate_left(seed as usize % num_shards);
+            let folded = Registry::with_enabled(true);
+            for shard in shards {
+                folded.merge(shard);
+            }
+            assert_eq!(
+                folded.snapshot(),
+                serial_snap,
+                "seed {seed}, {num_shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
 fn nested_spans_aggregate_per_path() {
     let reg = Registry::with_enabled(true);
     {
@@ -108,7 +164,10 @@ fn report_json_round_trips_through_parser() {
     let reg = Registry::with_enabled(true);
     apply(&reg, &random_ops(3, 100));
     let report = RunReport::from_registry("prop", &reg).meta("k", "v");
-    for text in [report.to_json().pretty(), report.to_json().dump()] {
+    // Serialize ONCE: the process section carries live values (peak RSS,
+    // live heap bytes) that may move between two to_json() calls.
+    let j = report.to_json();
+    for text in [j.pretty(), j.dump()] {
         let parsed = Json::parse(&text).expect("report JSON must parse");
         assert_eq!(
             parsed.get("report"),
@@ -116,7 +175,7 @@ fn report_json_round_trips_through_parser() {
             "{text}"
         );
         // Re-serializing the parsed tree reproduces the compact bytes.
-        assert_eq!(parsed.dump(), report.to_json().dump());
+        assert_eq!(parsed.dump(), j.dump());
     }
 }
 
