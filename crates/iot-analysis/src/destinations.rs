@@ -498,6 +498,94 @@ impl DestinationAnalysis {
         let with = devices.values().filter(|&&v| v).count();
         (with, devices.len())
     }
+
+    /// Serializes the observation map for the campaign checkpoint
+    /// journal. Entries are emitted in sorted key order so identical
+    /// analyses always produce identical bytes regardless of hash-map
+    /// iteration order. The `ip_keys` memo is a content-keyed cache and
+    /// is not persisted — decode rebuilds nothing it needs.
+    pub(crate) fn encode_journal(&self, w: &mut crate::supervise::ByteWriter) {
+        use crate::supervise as sup;
+        let mut keys: Vec<&ObsKey> = self.observations.keys().collect();
+        keys.sort_by(|a, b| {
+            (a.site, a.vpn, a.device, &*a.dest_key).cmp(&(b.site, b.vpn, b.device, &*b.dest_key))
+        });
+        w.u32(keys.len() as u32);
+        for key in keys {
+            let val = &self.observations[key];
+            w.u8(sup::site_to_u8(key.site));
+            w.bool(key.vpn);
+            w.str(key.device);
+            w.str(&key.dest_key);
+            w.u8(sup::party_to_u8(val.party));
+            w.opt_str(val.org_name);
+            match val.country {
+                Some(c) => {
+                    w.u8(1);
+                    w.str(sup::country_to_code(c));
+                }
+                None => w.u8(0),
+            }
+            w.str(&val.party_key);
+            w.u64(val.bytes);
+            w.u8(val.groups);
+        }
+    }
+
+    /// Decodes a journaled observation map. Device and organization
+    /// names are re-interned against the catalog and geodb registries;
+    /// unknown names are typed decode errors, never panics. Duplicate
+    /// keys fold like [`DestinationAnalysis::merge`].
+    pub(crate) fn decode_journal(
+        r: &mut crate::supervise::ByteReader<'_>,
+    ) -> Result<DestinationAnalysis, crate::supervise::DecodeErr> {
+        use crate::supervise as sup;
+        let n = r.u32()?;
+        let mut out = DestinationAnalysis::new();
+        for _ in 0..n {
+            let site = sup::site_from_u8(r.u8()?)?;
+            let vpn = r.bool()?;
+            let device = sup::intern_device(&r.str()?)?;
+            let dest_key: Arc<str> = r.str()?.into();
+            let party = sup::party_from_u8(r.u8()?)?;
+            let org_name = match r.opt_str()? {
+                Some(name) => Some(sup::intern_org(&name)?),
+                None => None,
+            };
+            let country = match r.u8()? {
+                0 => None,
+                1 => Some(sup::country_from_code(&r.str()?)?),
+                _ => return Err(crate::supervise::DecodeErr("invalid option tag")),
+            };
+            let party_key = r.str()?;
+            let bytes = r.u64()?;
+            let groups = r.u8()?;
+            let key = ObsKey {
+                site,
+                vpn,
+                device,
+                dest_key,
+            };
+            match out.observations.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let entry = e.get_mut();
+                    entry.bytes += bytes;
+                    entry.groups |= groups;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(ObsVal {
+                        party,
+                        org_name,
+                        country,
+                        party_key,
+                        bytes,
+                        groups,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

@@ -379,6 +379,103 @@ impl EncryptionAnalysis {
             .map(|cb| cb.percent(class))
             .unwrap_or(0.0)
     }
+
+    fn row_to_u8(row: Table8Row) -> u8 {
+        match row {
+            Table8Row::Control => 0,
+            Table8Row::Power => 1,
+            Table8Row::Voice => 2,
+            Table8Row::Video => 3,
+            Table8Row::Others => 4,
+            Table8Row::Idle => 5,
+            Table8Row::Uncontrolled => 6,
+        }
+    }
+
+    fn row_from_u8(v: u8) -> Result<Table8Row, crate::supervise::DecodeErr> {
+        Ok(match v {
+            0 => Table8Row::Control,
+            1 => Table8Row::Power,
+            2 => Table8Row::Voice,
+            3 => Table8Row::Video,
+            4 => Table8Row::Others,
+            5 => Table8Row::Idle,
+            6 => Table8Row::Uncontrolled,
+            _ => return Err(crate::supervise::DecodeErr("invalid table-8 row")),
+        })
+    }
+
+    /// Serializes both counter maps for the campaign checkpoint journal,
+    /// in sorted key order for byte-stable output. Thresholds are not
+    /// persisted: the pipeline always classifies with
+    /// `Thresholds::default()`, and the journal header's campaign
+    /// fingerprint already pins the configuration — decode rebuilds onto
+    /// a default-thresholds analysis.
+    pub(crate) fn encode_journal(&self, w: &mut crate::supervise::ByteWriter) {
+        use crate::supervise as sup;
+        let mut devices: Vec<&(LabSite, bool, &'static str)> = self.per_device.keys().collect();
+        devices.sort();
+        w.u32(devices.len() as u32);
+        for key in devices {
+            let cb = &self.per_device[key];
+            w.u8(sup::site_to_u8(key.0));
+            w.bool(key.1);
+            w.str(key.2);
+            w.u64(cb.unencrypted);
+            w.u64(cb.encrypted);
+            w.u64(cb.unknown);
+        }
+        let mut rows: Vec<&(LabSite, bool, Table8Row)> = self.per_row.keys().collect();
+        rows.sort_by_key(|(s, v, r)| (sup::site_to_u8(*s), *v, Self::row_to_u8(*r)));
+        w.u32(rows.len() as u32);
+        for key in rows {
+            let cb = &self.per_row[key];
+            w.u8(sup::site_to_u8(key.0));
+            w.bool(key.1);
+            w.u8(Self::row_to_u8(key.2));
+            w.u64(cb.unencrypted);
+            w.u64(cb.encrypted);
+            w.u64(cb.unknown);
+        }
+    }
+
+    /// Decodes journaled counter maps onto a default-thresholds
+    /// analysis. Duplicate keys fold additively, like
+    /// [`EncryptionAnalysis::merge`]; malformed input is a typed error.
+    pub(crate) fn decode_journal(
+        r: &mut crate::supervise::ByteReader<'_>,
+    ) -> Result<EncryptionAnalysis, crate::supervise::DecodeErr> {
+        use crate::supervise as sup;
+        let mut out = EncryptionAnalysis::default();
+        let n = r.u32()?;
+        for _ in 0..n {
+            let site = sup::site_from_u8(r.u8()?)?;
+            let vpn = r.bool()?;
+            let device = sup::intern_device(&r.str()?)?;
+            let cb = ClassBytes {
+                unencrypted: r.u64()?,
+                encrypted: r.u64()?,
+                unknown: r.u64()?,
+            };
+            out.per_device
+                .entry((site, vpn, device))
+                .or_default()
+                .merge(&cb);
+        }
+        let n = r.u32()?;
+        for _ in 0..n {
+            let site = sup::site_from_u8(r.u8()?)?;
+            let vpn = r.bool()?;
+            let row = Self::row_from_u8(r.u8()?)?;
+            let cb = ClassBytes {
+                unencrypted: r.u64()?,
+                encrypted: r.u64()?,
+                unknown: r.u64()?,
+            };
+            out.per_row.entry((site, vpn, row)).or_default().merge(&cb);
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

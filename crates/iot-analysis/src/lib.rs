@@ -24,6 +24,9 @@
 //! * [`report`] — text/JSON rendering used by the `iot-bench` binaries.
 //! * [`ingest`] — salvage accounting and quarantine: the ledger kept when
 //!   captures arrive degraded (see `iot-chaos` and DESIGN.md §10).
+//! * [`supervise`] — campaign supervision: checkpoint/resume journal,
+//!   watchdog deadlines, deterministic retry, and the coverage manifest
+//!   (DESIGN.md §15).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +41,7 @@ pub mod pii;
 pub mod pipeline;
 pub mod regional;
 pub mod report;
+pub mod supervise;
 pub mod unexpected;
 
 pub use destinations::DestinationAnalysis;
@@ -46,3 +50,4 @@ pub use flows::ExperimentFlows;
 pub use ingest::IngestStats;
 pub use pipeline::{Pipeline, PipelineReport};
 pub use inference::DeviceInference;
+pub use supervise::{Coverage, JournalError, SupervisorConfig, SuperviseSummary};

@@ -45,12 +45,30 @@
 //! is folded in as an empty quarantined shard. The whole ledger is a
 //! [`IngestStats`] in the report (`"ingest"` in the JSON), whose
 //! conservation invariant `chaos_check` gates.
+//!
+//! # Supervision
+//!
+//! [`Pipeline::run_campaign_supervised`] is the third driver, built for
+//! hour-scale fleet campaigns (DESIGN.md §15): the (lab × device) grid
+//! is pulled from a shared work queue one unit at a time, every
+//! completed unit's accumulator delta is appended to a checkpoint
+//! journal (`--resume` replays the journal and re-runs only the
+//! remainder, byte-identically), injected stalls are bounded by a
+//! watchdog deadline, and transient failures earn deterministic,
+//! identity-keyed retries. Every driver — including resumed ones — also
+//! maintains a [`Coverage`] manifest (`"coverage"` in the JSON): what
+//! completed, what needed retries, and what was permanently lost, per
+//! lab × device.
 
 use crate::destinations::{ColumnCtx, DestCtx, DestinationAnalysis};
 use crate::encryption::EncryptionAnalysis;
 use crate::flows::{ExperimentFlows, LabelCtx};
 use crate::ingest::IngestStats;
 use crate::pii::{findings_for_flow, scan_flow, PatternCache, PiiFinding};
+use crate::supervise::{
+    campaign_fingerprint, read_journal, Coverage, CoverageOutcome, JournalError, JournalWriter,
+    SuperviseSummary, SupervisorConfig, UnitDelta, WatchHandle, Watchdog,
+};
 use iot_chaos::{stream_key, FaultInjector, FaultPlan};
 use iot_core::json::{Json, ToJson};
 use iot_entropy::EncryptionClass;
@@ -65,6 +83,8 @@ use iot_testbed::schedule::{Campaign, CampaignConfig};
 use iot_testbed::traffic::{identity_of, DeviceIdentity};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Message carried by chaos-injected ingest panics, so logs can tell a
@@ -85,6 +105,36 @@ fn experiment_fault_key(exp: &LabeledExperiment) -> u64 {
     )
 }
 
+/// Rep-invariant variant of [`experiment_fault_key`]: the rep index is
+/// dropped (salted as zero), so every repetition of the same
+/// (device, site, vpn, label) identity draws the *same* faults. Enabled
+/// by `FaultPlan::rep_invariant_fault_keys`, this makes faulted runs
+/// comparable under the oracle's rep-relabel metamorphic relation while
+/// staying byte-identical across drivers.
+fn experiment_fault_key_rep_invariant(exp: &LabeledExperiment) -> u64 {
+    stream_key(
+        exp.device_name,
+        stream_key(&exp.label, 0) ^ ((exp.site as u64) << 32) ^ ((exp.vpn as u64) << 40),
+    )
+}
+
+/// Supervision context threaded into [`PipelineShard::ingest`] by the
+/// supervised driver; `None` everywhere else, reproducing the plain
+/// drivers bit-for-bit.
+struct SupCtx<'a> {
+    /// Soft deadline in microseconds; injected stalls strictly greater
+    /// are quarantined (by value comparison, never by clock).
+    deadline_micros: Option<u64>,
+    /// Retry budget for transient failures.
+    max_retries: u32,
+    /// First retry's backoff sleep; doubles per attempt.
+    backoff_base: Duration,
+    /// Backoff ceiling.
+    backoff_cap: Duration,
+    /// This worker's watchdog slot, when a deadline monitor is running.
+    watch: Option<&'a WatchHandle>,
+}
+
 /// Aggregate report over one campaign run.
 #[derive(Debug, Clone)]
 pub struct PipelineReport {
@@ -102,6 +152,9 @@ pub struct PipelineReport {
     pub pii_findings: Vec<PiiFinding>,
     /// Ingest ledger: what was generated, salvaged, and quarantined.
     pub ingest: IngestStats,
+    /// Coverage manifest: per-(lab × device) experiment outcomes and the
+    /// degraded-run flag.
+    pub coverage: Coverage,
 }
 
 impl ToJson for PipelineReport {
@@ -128,6 +181,7 @@ impl ToJson for PipelineReport {
         let mut j = Json::obj();
         j.set("experiments", self.experiments.to_json());
         j.set("ingest", self.ingest.to_json());
+        j.set("coverage", self.coverage.to_json());
         j.set("support_destinations", sorted_map(&self.support_destinations));
         j.set("third_destinations", sorted_map(&self.third_destinations));
         j.set(
@@ -161,6 +215,8 @@ struct PipelineShard {
     pii_patterns: PatternCache,
     /// Ingest ledger; folds with the rest of the shard.
     ingest: IngestStats,
+    /// Coverage manifest slice; folds with the rest of the shard.
+    coverage: Coverage,
     /// Shard-local metrics; folds with the rest of the shard.
     obs: Registry,
 }
@@ -175,8 +231,27 @@ impl PipelineShard {
             label_ctx: LabelCtx::new(),
             pii_patterns: PatternCache::new(),
             ingest: IngestStats::default(),
+            coverage: Coverage::new(),
             obs: Registry::with_enabled(obs_enabled),
         }
+    }
+
+    /// Converts the finished shard into its journalable delta plus the
+    /// (never-journaled) metric registry. Shard-local caches are
+    /// result-neutral and simply dropped.
+    fn into_delta(self, unit: u32) -> (UnitDelta, Registry) {
+        (
+            UnitDelta {
+                unit,
+                experiments: self.experiments,
+                ingest: self.ingest,
+                coverage: self.coverage,
+                destinations: self.destinations,
+                encryption: self.encryption,
+                pii: self.pii,
+            },
+            self.obs,
+        )
     }
 
     fn ingest(
@@ -184,6 +259,7 @@ impl PipelineShard {
         db: &GeoDb,
         identities: &HashMap<(&'static str, LabSite), DeviceIdentity>,
         fault: Option<&FaultInjector>,
+        sup: Option<&SupCtx<'_>>,
         mut exp: LabeledExperiment,
     ) {
         // Split the borrow: the span guard pins `obs` (shared) for the
@@ -197,74 +273,193 @@ impl PipelineShard {
             label_ctx,
             pii_patterns,
             ingest,
+            coverage,
             obs,
         } = self;
         // The experiment's identity digest doubles as the flight-recorder
         // stream key: every event inside this scope is attributable to
-        // this experiment regardless of which worker ran it.
-        let key = experiment_fault_key(&exp);
-        obs.begin_stream(key);
+        // this experiment regardless of which worker ran it. Fault draws
+        // optionally drop the rep index from their key (the oracle's
+        // rep-relabel relation needs rep-invariant fault schedules); the
+        // obs stream key always keeps the full identity.
+        let skey = experiment_fault_key(&exp);
+        let fkey = match fault {
+            Some(inj) if inj.plan().rep_invariant_fault_keys => {
+                experiment_fault_key_rep_invariant(&exp)
+            }
+            _ => skey,
+        };
+        let site = exp.site;
+        let device = exp.device_name;
+        let max_retries = sup.map_or(0, |s| s.max_retries);
+        let deadline = sup.and_then(|s| s.deadline_micros);
+        let watch = sup.and_then(|s| s.watch);
+        obs.begin_stream(skey);
         {
             let _ingest_span = obs.span("ingest");
-            ingest.packets_generated += exp.packets.len() as u64;
-            let mut inject_panic = false;
-            if let Some(inj) = fault {
-                inject_panic = inj.should_panic(key);
-                degrade_capture(inj, key, &mut exp, ingest, obs);
-            }
-            let salvaged = exp.packets.len() as u64;
-            // The quarantine boundary: a panic here — injected by the chaos
-            // plan or real — costs this one experiment, not the run. The
-            // injected panic fires before any accumulator or obs mutation,
-            // so quarantined experiments contribute exactly nothing and the
-            // report stays deterministic.
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                if inject_panic {
-                    panic!("{INJECTED_PANIC_MSG}");
+            let n_generated = exp.packets.len() as u64;
+            ingest.packets_generated += n_generated;
+            // Pristine copy for re-attempts, taken before any degradation
+            // so even a total salvage loss is retryable. Zero-cost when
+            // supervision or faults are off, preserving the plain
+            // drivers' allocation profile.
+            let pristine =
+                (max_retries > 0 && fault.is_some()).then(|| exp.packets.clone());
+            let mut attempt: u32 = 0;
+            loop {
+                if attempt > 0 {
+                    // The re-attempt replays the pristine capture through
+                    // a fresh (attempt-salted) degradation pass.
+                    ingest.packets_reoffered += n_generated;
+                    ingest.retry_attempts += 1;
                 }
-                analyze_experiment(
-                    db,
-                    identities,
-                    destinations,
-                    encryption,
-                    pii,
-                    label_ctx,
-                    pii_patterns,
-                    ingest,
-                    obs,
-                    &exp,
-                );
-            }));
-            match outcome {
-                Ok(()) => {
-                    ingest.packets_ingested += salvaged;
-                    ingest.experiments_ingested += 1;
-                    *experiments += 1;
+                let mut inject_panic = false;
+                let mut stall: Option<u64> = None;
+                let mut total_loss = false;
+                if let Some(inj) = fault {
+                    inject_panic = inj.should_panic_at(fkey, attempt);
+                    stall = inj.stall_micros(fkey, attempt);
+                    total_loss = degrade_capture_at(inj, fkey, attempt, &mut exp, ingest, obs);
                 }
-                Err(_) => {
-                    ingest.packets_quarantined += salvaged;
+                let salvaged = exp.packets.len() as u64;
+                // Whether a stall is quarantined is this value comparison
+                // — never a race between clocks — so the quarantine set is
+                // byte-identical across drivers and machines. The watchdog
+                // below only bounds how long the worker actually sleeps.
+                let stall_breached = matches!((stall, deadline), (Some(st), Some(d)) if st > d);
+                if let Some(w) = watch {
+                    w.begin();
+                }
+                let failure: Option<&'static str> = if total_loss {
+                    // from_bytes_lenient salvaged nothing at all; with
+                    // retries available this is transient, without them it
+                    // is a permanent loss (of an already-empty capture).
+                    Some("salvage_loss")
+                } else if stall_breached {
+                    // Sleep out the stall only up to the point the
+                    // watchdog (or, unsupervised, the deadline itself)
+                    // bounds it — the experiment's fate is already sealed.
+                    let st = Duration::from_micros(stall.unwrap_or(0));
+                    match watch {
+                        Some(w) => {
+                            w.wait_cancelled(st);
+                        }
+                        None => std::thread::sleep(
+                            st.min(Duration::from_micros(deadline.unwrap_or(0))),
+                        ),
+                    }
+                    Some("stall_deadline")
+                } else {
+                    if let Some(st) = stall {
+                        // Within-deadline stall (or no deadline at all):
+                        // the experiment hangs, then completes normally.
+                        std::thread::sleep(Duration::from_micros(st));
+                    }
+                    // The quarantine boundary: a panic here — injected by
+                    // the chaos plan or real — costs this one experiment,
+                    // not the run. The injected panic fires before any
+                    // accumulator or obs mutation, so failed attempts
+                    // contribute exactly nothing and the report stays
+                    // deterministic.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if inject_panic {
+                            panic!("{INJECTED_PANIC_MSG}");
+                        }
+                        analyze_experiment(
+                            db,
+                            identities,
+                            destinations,
+                            encryption,
+                            pii,
+                            label_ctx,
+                            pii_patterns,
+                            ingest,
+                            obs,
+                            &exp,
+                        );
+                    }));
+                    match outcome {
+                        Ok(()) => None,
+                        Err(_) => Some("ingest_panic"),
+                    }
+                };
+                if let Some(w) = watch {
+                    w.end();
+                }
+                let stage = match failure {
+                    None => {
+                        ingest.packets_ingested += salvaged;
+                        ingest.experiments_ingested += 1;
+                        *experiments += 1;
+                        if attempt > 0 {
+                            ingest.experiments_retried += 1;
+                            coverage.record(site, device, CoverageOutcome::Retried);
+                        } else {
+                            coverage.record(site, device, CoverageOutcome::Completed);
+                        }
+                        break;
+                    }
+                    Some(stage) => stage,
+                };
+                ingest.add_stage_error(stage);
+                obs.mark("quarantine");
+                // An *injected* panic fires before any mutation and is
+                // transient; a real panic may have mutated accumulators
+                // mid-analysis, so re-running it would double-count —
+                // it stays permanent. Stalls and salvage losses never
+                // reach the analyses, so they are always transient.
+                let transient = stage != "ingest_panic" || inject_panic;
+                if transient && attempt < max_retries && pristine.is_some() {
+                    ingest.packets_retried += salvaged;
+                    exp.packets = pristine.as_ref().expect("pristine checked").clone();
+                    if let Some(s) = sup {
+                        // Wall-clock pacing only; report-neutral.
+                        let backoff = s
+                            .backoff_base
+                            .saturating_mul(1u32 << attempt.min(16))
+                            .min(s.backoff_cap);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                    }
+                    attempt += 1;
+                    continue;
+                }
+                ingest.packets_quarantined += salvaged;
+                if attempt > 0 {
+                    ingest.experiments_abandoned += 1;
+                    coverage.record(site, device, CoverageOutcome::Abandoned);
+                } else {
                     ingest.experiments_quarantined += 1;
-                    ingest.add_stage_error("ingest_panic");
-                    obs.mark("quarantine");
+                    coverage.record(site, device, CoverageOutcome::Quarantined);
                 }
+                break;
             }
         }
         obs.end_stream();
     }
 }
 
-/// Degrades one experiment's capture through the fault injector and
+/// Degrades one experiment's capture through the fault injector (salted
+/// by `attempt`, so re-attempts draw fresh faults deterministically) and
 /// re-reads it through the lenient salvage path, keeping the ledger
 /// exact: every generated packet ends up ingested, dropped, or lost.
-fn degrade_capture(
+///
+/// Returns `true` on *total* salvage loss — the capture yielded nothing
+/// at all — which the caller records as a `salvage_loss` failure
+/// (retryable under supervision) instead of silently analyzing an empty
+/// experiment. Unreachable with our injector (the global pcap header is
+/// never touched), but a hard failure mode deserves an explicit path.
+fn degrade_capture_at(
     inj: &FaultInjector,
     key: u64,
+    attempt: u32,
     exp: &mut LabeledExperiment,
     ledger: &mut IngestStats,
     obs: &Registry,
-) {
+) -> bool {
     let _s = obs.span("degrade");
-    let (bytes, fstats) = inj.degrade(key, std::mem::take(&mut exp.packets));
+    let (bytes, fstats) = inj.degrade_at(key, attempt, std::mem::take(&mut exp.packets));
     ledger.packets_dropped += fstats.packets_dropped;
     ledger.packets_duplicated += fstats.packets_duplicated;
     ledger.records_corrupted += fstats.headers_corrupted;
@@ -279,13 +474,11 @@ fn degrade_capture(
                 ledger.add_stage_error("salvage");
             }
             exp.packets = packets;
+            false
         }
         Err(_) => {
-            // Unreachable with our injector (the global header is never
-            // touched), but a capture nothing can be salvaged from is
-            // total loss, not a crash.
             ledger.packets_lost += fstats.records_written;
-            ledger.add_stage_error("salvage");
+            true
         }
     }
 }
@@ -463,6 +656,8 @@ pub struct Pipeline {
     pub pii: Vec<PiiFinding>,
     /// Ingest ledger across all shards (salvage + quarantine accounting).
     pub ingest: IngestStats,
+    /// Coverage manifest across all shards.
+    pub coverage: Coverage,
     experiments: u64,
     fault: Option<FaultInjector>,
     obs: Registry,
@@ -503,6 +698,7 @@ impl Pipeline {
             encryption: EncryptionAnalysis::default(),
             pii: Vec::new(),
             ingest: IngestStats::default(),
+            coverage: Coverage::new(),
             experiments: 0,
             fault: None,
             obs: Registry::with_enabled(obs_enabled),
@@ -537,6 +733,7 @@ impl Pipeline {
         self.encryption.merge(shard.encryption);
         self.pii.extend(shard.pii);
         self.ingest.merge(&shard.ingest);
+        self.coverage.merge(&shard.coverage);
         self.experiments += shard.experiments;
         self.obs.merge(shard.obs);
         // Live-heap counter track for the wall-clock Chrome trace,
@@ -545,6 +742,27 @@ impl Pipeline {
         if iot_obs::alloc::enabled() {
             self.obs
                 .counter_sample("alloc.live_bytes", iot_obs::alloc::process_live_bytes());
+        }
+    }
+
+    /// Folds a journaled unit delta into the pipeline — the replay half
+    /// of resume. `obs` is `Some` for units this process actually ran:
+    /// metrics describe performed work, so replayed units contribute no
+    /// registry (the report JSON, which is what identity is gated on,
+    /// is obs-independent).
+    fn absorb_delta(&mut self, delta: UnitDelta, obs: Option<Registry>) {
+        self.destinations.merge(delta.destinations);
+        self.encryption.merge(delta.encryption);
+        self.pii.extend(delta.pii);
+        self.ingest.merge(&delta.ingest);
+        self.coverage.merge(&delta.coverage);
+        self.experiments += delta.experiments;
+        if let Some(obs) = obs {
+            self.obs.merge(obs);
+            if iot_obs::alloc::enabled() {
+                self.obs
+                    .counter_sample("alloc.live_bytes", iot_obs::alloc::process_live_bytes());
+            }
         }
     }
 
@@ -564,7 +782,13 @@ impl Pipeline {
     /// `IOT_OBS_SERVE` server is running; no-op (no rendering, no locks)
     /// otherwise. Called at shard-fold boundaries only, so the ingest hot
     /// path never pays for a listener.
-    fn publish_live(obs: &Registry, experiments: u64, ingest: &IngestStats, phase: &str) {
+    fn publish_live(
+        obs: &Registry,
+        experiments: u64,
+        ingest: &IngestStats,
+        coverage: &Coverage,
+        phase: &str,
+    ) {
         if !iot_obs::serve::active() || !obs.enabled() {
             return;
         }
@@ -575,6 +799,7 @@ impl Pipeline {
         progress.set("phase", phase.to_json());
         progress.set("experiments", experiments.to_json());
         progress.set("ingest", ingest.to_json());
+        progress.set("coverage", coverage.to_json());
         if iot_obs::alloc::enabled() {
             let totals = iot_obs::alloc::process_totals();
             let mut alloc = Json::obj();
@@ -601,7 +826,7 @@ impl Pipeline {
             let _s = self.obs.span("identities");
             campaign_identities(&campaign)
         };
-        Self::publish_live(&self.obs, self.experiments, &self.ingest, "generated");
+        Self::publish_live(&self.obs, self.experiments, &self.ingest, &self.coverage, "generated");
         let mut shard = PipelineShard::new(self.obs.enabled());
         // Worker track 1 — track 0 is the driver registry. The serial
         // shard is the same worker the parallel driver would call 1.
@@ -610,7 +835,7 @@ impl Pipeline {
         let start = Instant::now();
         {
             let mut ingest = |exp: LabeledExperiment| {
-                shard.ingest(&self.db, &identities, fault.as_ref(), exp);
+                shard.ingest(&self.db, &identities, fault.as_ref(), None, exp);
             };
             campaign.run(&self.db, &mut ingest);
             campaign.run_idle(&self.db, &mut ingest);
@@ -624,7 +849,7 @@ impl Pipeline {
         Self::record_shard_alloc_gauge(&shard.obs, 0);
         self.obs.set_gauge("workers", 1.0);
         self.absorb(shard);
-        Self::publish_live(&self.obs, self.experiments, &self.ingest, "folded");
+        Self::publish_live(&self.obs, self.experiments, &self.ingest, &self.coverage, "folded");
     }
 
     /// Ingests an arbitrary stream of experiments through the same
@@ -655,7 +880,7 @@ impl Pipeline {
         let fault = self.fault;
         let start = Instant::now();
         for exp in experiments {
-            shard.ingest(&self.db, &identities, fault.as_ref(), exp);
+            shard.ingest(&self.db, &identities, fault.as_ref(), None, exp);
         }
         shard.obs.record_ns("shard", start.elapsed());
         if shard.obs.enabled() {
@@ -664,7 +889,7 @@ impl Pipeline {
         Self::record_shard_alloc_gauge(&shard.obs, 0);
         self.obs.set_gauge("workers", 1.0);
         self.absorb(shard);
-        Self::publish_live(&self.obs, self.experiments, &self.ingest, "folded");
+        Self::publish_live(&self.obs, self.experiments, &self.ingest, &self.coverage, "folded");
     }
 
     /// Runs a full campaign with the (lab × device) grid sharded across
@@ -686,7 +911,7 @@ impl Pipeline {
             let _s = self.obs.span("identities");
             campaign_identities(&campaign)
         };
-        Self::publish_live(&self.obs, self.experiments, &self.ingest, "generated");
+        Self::publish_live(&self.obs, self.experiments, &self.ingest, &self.coverage, "generated");
         // More workers than work units would leave idle threads behind.
         let workers = workers.min(campaign.unit_count().max(1));
         let obs_enabled = self.obs.enabled();
@@ -703,7 +928,7 @@ impl Pipeline {
                         shard.obs.set_worker(shard_idx as u32 + 1);
                         let start = Instant::now();
                         campaign_ref.run_shard(db, shard_idx, workers, |exp| {
-                            shard.ingest(db, identities_ref, fault.as_ref(), exp);
+                            shard.ingest(db, identities_ref, fault.as_ref(), None, exp);
                         });
                         shard.obs.record_ns("shard", start.elapsed());
                         if obs_enabled {
@@ -729,9 +954,232 @@ impl Pipeline {
         self.obs.set_gauge("workers", workers as f64);
         for shard in shards {
             self.absorb(shard);
-            Self::publish_live(&self.obs, self.experiments, &self.ingest, "folding");
+            Self::publish_live(&self.obs, self.experiments, &self.ingest, &self.coverage, "folding");
         }
-        Self::publish_live(&self.obs, self.experiments, &self.ingest, "folded");
+        Self::publish_live(&self.obs, self.experiments, &self.ingest, &self.coverage, "folded");
+    }
+
+    /// Runs a full campaign under supervision (DESIGN.md §15): workers
+    /// pull (lab × device) work units from a shared queue, each finished
+    /// unit's accumulator delta is appended to the checkpoint journal
+    /// (when `sup.journal` is set), injected stalls are bounded by a
+    /// watchdog at `sup.deadline`, and transient failures are retried up
+    /// to `sup.max_retries` times with identity-keyed determinism.
+    ///
+    /// With `sup.resume`, an existing journal is replayed first — its
+    /// completed units merged straight into the accumulators — and only
+    /// the remainder is run; the resulting report is byte-identical to a
+    /// straight-through run of the same configuration. A journal written
+    /// by a different configuration (campaign, fault plan, deadline, or
+    /// retry budget) is refused with a typed error rather than silently
+    /// producing a hybrid report.
+    ///
+    /// With default [`SupervisorConfig`] knobs the supervised driver is
+    /// report-byte-identical to [`Pipeline::run_campaign`] and
+    /// [`Pipeline::run_campaign_parallel`].
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn run_campaign_supervised(
+        &mut self,
+        config: CampaignConfig,
+        workers: usize,
+        sup: &SupervisorConfig,
+    ) -> Result<SuperviseSummary, JournalError> {
+        assert!(workers > 0, "workers must be positive");
+        iot_obs::serve::maybe_start_from_env();
+        let campaign = {
+            let _s = self.obs.span("campaign_new");
+            Campaign::new(config)
+        };
+        let identities = {
+            let _s = self.obs.span("identities");
+            campaign_identities(&campaign)
+        };
+        let unit_count = campaign.unit_count();
+        let deadline_micros = sup.deadline.map(|d| d.as_micros() as u64);
+        let fingerprint =
+            campaign_fingerprint(&config, self.fault_plan(), deadline_micros, sup.max_retries);
+        let mut summary = SuperviseSummary {
+            units_total: unit_count,
+            ..SuperviseSummary::default()
+        };
+        let mut done = std::collections::BTreeSet::new();
+        let mut writer: Option<Mutex<JournalWriter>> = None;
+        if let Some(path) = &sup.journal {
+            if sup.resume && path.exists() {
+                let contents = read_journal(path)?;
+                if contents.fingerprint != fingerprint {
+                    return Err(JournalError::ConfigMismatch {
+                        expected: fingerprint,
+                        found: contents.fingerprint,
+                    });
+                }
+                if contents.total_units as usize != unit_count {
+                    return Err(JournalError::UnitCountMismatch {
+                        expected: unit_count as u32,
+                        found: contents.total_units,
+                    });
+                }
+                summary.units_replayed = contents.deltas.len();
+                summary.salvage = Some(contents.salvage);
+                for delta in contents.deltas {
+                    done.insert(delta.unit);
+                    self.absorb_delta(delta, None);
+                }
+                writer = Some(Mutex::new(JournalWriter::resume(path, contents.clean_len)?));
+            } else {
+                writer = Some(Mutex::new(JournalWriter::create(
+                    path,
+                    fingerprint,
+                    unit_count as u32,
+                )?));
+            }
+        }
+        let remaining: Vec<u32> = (0..unit_count as u32)
+            .filter(|u| !done.contains(u))
+            .collect();
+        summary.units_run = remaining.len();
+        Self::publish_live(&self.obs, self.experiments, &self.ingest, &self.coverage, "generated");
+        if remaining.is_empty() {
+            self.obs.set_gauge("workers", 0.0);
+            Self::publish_live(&self.obs, self.experiments, &self.ingest, &self.coverage, "folded");
+            return Ok(summary);
+        }
+        let workers = workers.min(remaining.len());
+        let watchdog = sup.deadline.map(|d| Watchdog::new(workers, d));
+        let watchdog_ref = watchdog.as_ref();
+        let obs_enabled = self.obs.enabled();
+        let fault = self.fault;
+        let db = &self.db;
+        let campaign_ref = &campaign;
+        let identities_ref = &identities;
+        let remaining_ref = &remaining[..];
+        let writer_ref = writer.as_ref();
+        let throttle = sup.unit_throttle;
+        // Shared work queue plus shared completion log: units completed
+        // before a worker death or journal failure are never lost.
+        let next = AtomicUsize::new(0);
+        let completed: Mutex<Vec<(UnitDelta, Registry)>> = Mutex::new(Vec::new());
+        let journal_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+        let abort = AtomicBool::new(false);
+        let dead_workers: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|widx| {
+                    let next = &next;
+                    let completed = &completed;
+                    let journal_error = &journal_error;
+                    let abort = &abort;
+                    scope.spawn(move || {
+                        let watch = watchdog_ref.map(|w| w.handle(widx));
+                        let sup_ctx = SupCtx {
+                            deadline_micros,
+                            max_retries: sup.max_retries,
+                            backoff_base: sup.backoff_base,
+                            backoff_cap: sup.backoff_cap,
+                            watch: watch.as_ref(),
+                        };
+                        loop {
+                            if abort.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let i = next.fetch_add(1, Ordering::AcqRel);
+                            if i >= remaining_ref.len() {
+                                break;
+                            }
+                            let unit = remaining_ref[i];
+                            let mut shard = PipelineShard::new(obs_enabled);
+                            shard.obs.set_worker(widx as u32 + 1);
+                            let start = Instant::now();
+                            campaign_ref.run_unit(db, unit as usize, |exp| {
+                                shard.ingest(
+                                    db,
+                                    identities_ref,
+                                    fault.as_ref(),
+                                    Some(&sup_ctx),
+                                    exp,
+                                );
+                            });
+                            shard.obs.record_ns("shard", start.elapsed());
+                            Self::record_shard_alloc_gauge(&shard.obs, widx);
+                            let (delta, obs) = shard.into_delta(unit);
+                            if let Some(w) = writer_ref {
+                                // Journal before declaring the unit done:
+                                // anything the journal holds is exactly
+                                // what resume will replay.
+                                let mut guard = w.lock().unwrap_or_else(|p| p.into_inner());
+                                if let Err(e) = guard.append(&delta) {
+                                    *journal_error
+                                        .lock()
+                                        .unwrap_or_else(|p| p.into_inner()) = Some(e);
+                                    abort.store(true, Ordering::Release);
+                                }
+                            }
+                            completed
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .push((delta, obs));
+                            if !throttle.is_zero() {
+                                // Kill-timing aid for tests; report-neutral.
+                                std::thread::sleep(throttle);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .filter_map(|(idx, h)| match h.join() {
+                    Ok(()) => None,
+                    Err(payload) => {
+                        let what = payload
+                            .downcast_ref::<&str>()
+                            .copied()
+                            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                            .unwrap_or("non-string panic payload");
+                        eprintln!(
+                            "pipeline: supervised worker {idx} panicked ({what}); \
+                             its in-flight unit stays resumable"
+                        );
+                        Some(idx)
+                    }
+                })
+                .collect()
+        });
+        // A dead worker's in-flight unit was neither journaled nor
+        // completed — a later --resume re-runs it. Mark the loss the same
+        // way the parallel driver does.
+        for _ in &dead_workers {
+            let mut marker = PipelineShard::new(obs_enabled);
+            marker.ingest.shards_quarantined = 1;
+            marker.ingest.add_stage_error("worker_panic");
+            self.absorb(marker);
+        }
+        if let Some(e) = journal_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(JournalError::Io(e));
+        }
+        // Fold in unit order: not required for correctness (merges
+        // commute), but it keeps fold-boundary obs samples stable.
+        let mut completed = completed.into_inner().unwrap_or_else(|p| p.into_inner());
+        completed.sort_by_key(|(d, _)| d.unit);
+        self.obs.set_gauge("workers", workers as f64);
+        for (delta, obs) in completed {
+            self.absorb_delta(delta, Some(obs));
+            Self::publish_live(&self.obs, self.experiments, &self.ingest, &self.coverage, "folding");
+        }
+        if let Some(dog) = watchdog_ref {
+            summary.watchdog_cancelled = dog.cancelled_total();
+            if summary.watchdog_cancelled > 0 {
+                // Wall-clock dependent count: gauge only, never a report
+                // field or deterministic counter.
+                self.obs
+                    .set_gauge("watchdog.cancelled", summary.watchdog_cancelled as f64);
+            }
+        }
+        drop(watchdog);
+        Self::publish_live(&self.obs, self.experiments, &self.ingest, &self.coverage, "folded");
+        Ok(summary)
     }
 
     /// Builds the aggregate report, discarding the metric registry.
@@ -787,6 +1235,7 @@ impl Pipeline {
             encryption_mix,
             pii_findings,
             ingest: self.ingest.clone(),
+            coverage: self.coverage.clone(),
         }
     }
 
@@ -822,6 +1271,14 @@ impl Pipeline {
                     ingest.experiments_quarantined,
                 ),
                 ("ingest.shards_quarantined", ingest.shards_quarantined),
+                ("ingest.packets_reoffered", ingest.packets_reoffered),
+                ("ingest.packets_retried", ingest.packets_retried),
+                ("ingest.retry_attempts", ingest.retry_attempts),
+                ("ingest.experiments_retried", ingest.experiments_retried),
+                (
+                    "ingest.experiments_abandoned",
+                    ingest.experiments_abandoned,
+                ),
             ] {
                 if value > 0 {
                     self.obs.add(name, value);
@@ -829,6 +1286,20 @@ impl Pipeline {
             }
             for (stage, n) in &ingest.stage_errors {
                 self.obs.add(&format!("ingest.errors.{stage}"), *n);
+            }
+            // Coverage manifest mirror: deterministic totals (they fold
+            // from the same accumulators the report does), nonzero only —
+            // a clean run carries exactly `coverage.completed`.
+            let totals = self.coverage.totals();
+            for (name, value) in [
+                ("coverage.completed", totals.completed),
+                ("coverage.retried", totals.retried),
+                ("coverage.quarantined", totals.quarantined),
+                ("coverage.abandoned", totals.abandoned),
+            ] {
+                if value > 0 {
+                    self.obs.add(name, value);
+                }
             }
         }
         let report = self.build_report();
@@ -853,7 +1324,7 @@ impl Pipeline {
             }
             obs.counter_sample("alloc.live_bytes", iot_obs::alloc::process_live_bytes());
         }
-        Self::publish_live(&obs, report.experiments, &report.ingest, "finished");
+        Self::publish_live(&obs, report.experiments, &report.ingest, &report.coverage, "finished");
         (report, obs)
     }
 }
@@ -1159,6 +1630,267 @@ mod tests {
              enc: {stage_enc:?}\n pii: {stage_pii:?}"
         );
         assert_eq!(measured.bytes_allocated, 0);
+    }
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("iot_pipeline_{tag}_{}.jnl", std::process::id()))
+    }
+
+    #[test]
+    fn supervised_defaults_match_plain_drivers() {
+        let mut plain = Pipeline::new();
+        plain.run_campaign(tiny_config());
+        let plain_json = plain.finish().to_json().dump();
+        for workers in [1usize, 2] {
+            let mut sup = Pipeline::new();
+            let summary = sup
+                .run_campaign_supervised(tiny_config(), workers, &SupervisorConfig::default())
+                .expect("no journal involved");
+            assert_eq!(summary.units_total, summary.units_run);
+            assert_eq!(summary.units_replayed, 0);
+            assert_eq!(
+                sup.finish().to_json().dump(),
+                plain_json,
+                "supervised/{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_coverage_counts_every_experiment() {
+        let mut p = Pipeline::new();
+        p.run_campaign_supervised(tiny_config(), 2, &SupervisorConfig::default())
+            .unwrap();
+        let report = p.finish();
+        let totals = report.coverage.totals();
+        assert_eq!(totals.completed, report.experiments);
+        assert_eq!(totals.retried + totals.quarantined + totals.abandoned, 0);
+        assert!(!report.coverage.is_degraded());
+        let json = report.to_json().dump();
+        assert!(json.contains("\"coverage\""), "{json}");
+        assert!(json.contains("\"degraded\":false"));
+    }
+
+    #[test]
+    fn stalls_past_deadline_are_quarantined_deterministically() {
+        let plan = iot_chaos::FaultPlan {
+            stall_rate: 0.05,
+            stall_max_micros: 20_000,
+            ..iot_chaos::FaultPlan::clean(0x57A11)
+        };
+        let sup_cfg = SupervisorConfig {
+            deadline: Some(Duration::from_millis(5)),
+            ..SupervisorConfig::default()
+        };
+        let run = |workers: usize| {
+            let mut p = Pipeline::new();
+            p.set_fault_plan(plan);
+            p.run_campaign_supervised(tiny_config(), workers, &sup_cfg)
+                .unwrap();
+            p.finish()
+        };
+        let base = run(1);
+        let stalled = base.ingest.stage_errors.get("stall_deadline").copied();
+        assert!(
+            stalled.unwrap_or(0) > 0,
+            "a 5% stall plan against a 5ms deadline must quarantine something: {:?}",
+            base.ingest
+        );
+        assert_eq!(
+            stalled.unwrap_or(0),
+            base.ingest.experiments_quarantined,
+            "without retries every breach is a quarantine"
+        );
+        assert!(base.ingest.reconciles(), "{:?}", base.ingest);
+        assert!(base.coverage.is_degraded());
+        let base_json = base.to_json().dump();
+        for workers in [2usize, 4] {
+            assert_eq!(
+                run(workers).to_json().dump(),
+                base_json,
+                "stall quarantine set must be driver-independent ({workers} workers)"
+            );
+        }
+    }
+
+    #[test]
+    fn retries_recover_transient_failures_and_stay_seed_stable() {
+        let plan = iot_chaos::FaultPlan {
+            panic_rate: 0.08,
+            ..iot_chaos::FaultPlan::uniform(0xBAD5EED, 0.01)
+        };
+        // Baseline without retries: every injected panic is a quarantine.
+        let mut no_retry = Pipeline::new();
+        no_retry.set_fault_plan(plan);
+        no_retry
+            .run_campaign_supervised(tiny_config(), 2, &SupervisorConfig::default())
+            .unwrap();
+        let no_retry = no_retry.finish();
+        assert!(no_retry.ingest.experiments_quarantined > 0);
+        let sup_cfg = SupervisorConfig {
+            max_retries: 2,
+            ..SupervisorConfig::default()
+        };
+        let run = |workers: usize| {
+            let mut p = Pipeline::new();
+            p.set_fault_plan(plan);
+            p.run_campaign_supervised(tiny_config(), workers, &sup_cfg)
+                .unwrap();
+            p.finish()
+        };
+        let retried = run(2);
+        let ingest = &retried.ingest;
+        assert!(ingest.retry_attempts > 0, "{ingest:?}");
+        assert!(ingest.experiments_retried > 0, "retries must rescue something");
+        assert!(ingest.reconciles(), "{ingest:?}");
+        assert!(
+            ingest.experiments_quarantined + ingest.experiments_abandoned
+                < no_retry.ingest.experiments_quarantined,
+            "retries must strictly reduce permanent losses: {ingest:?}"
+        );
+        assert_eq!(
+            retried.coverage.totals().retried,
+            ingest.experiments_retried
+        );
+        // Seed-stability: same plan + knobs → same bytes, across drivers
+        // and across runs.
+        let json = retried.to_json().dump();
+        assert_eq!(run(2).to_json().dump(), json, "re-run must be identical");
+        assert_eq!(run(1).to_json().dump(), json, "serial must be identical");
+        assert_eq!(run(4).to_json().dump(), json, "4 workers must be identical");
+    }
+
+    #[test]
+    fn journal_resume_is_byte_identical_to_straight_through() {
+        let plan = iot_chaos::FaultPlan {
+            panic_rate: 0.05,
+            ..iot_chaos::FaultPlan::uniform(0x0B5E55ED, 0.01)
+        };
+        let mut reference = Pipeline::new();
+        reference.set_fault_plan(plan);
+        reference.run_campaign(tiny_config());
+        let reference_json = reference.finish().to_json().dump();
+
+        let path = temp_journal("resume");
+        let _ = std::fs::remove_file(&path);
+        let sup_cfg = SupervisorConfig {
+            journal: Some(path.clone()),
+            ..SupervisorConfig::default()
+        };
+        let mut first = Pipeline::new();
+        first.set_fault_plan(plan);
+        first
+            .run_campaign_supervised(tiny_config(), 2, &sup_cfg)
+            .unwrap();
+        // Simulate a SIGKILL mid-campaign: amputate the journal tail at
+        // an arbitrary byte (not a record boundary), keeping ~60%.
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.len() > 200, "journal must hold real records");
+        std::fs::write(&path, &bytes[..bytes.len() * 6 / 10]).unwrap();
+        let resume_cfg = SupervisorConfig {
+            journal: Some(path.clone()),
+            resume: true,
+            ..SupervisorConfig::default()
+        };
+        let mut resumed = Pipeline::new();
+        resumed.set_fault_plan(plan);
+        let summary = resumed
+            .run_campaign_supervised(tiny_config(), 2, &resume_cfg)
+            .unwrap();
+        assert!(summary.units_replayed > 0, "truncated journal must replay");
+        assert!(summary.units_run > 0, "and must leave work to re-run");
+        assert_eq!(
+            summary.units_replayed + summary.units_run,
+            summary.units_total
+        );
+        assert_eq!(
+            resumed.finish().to_json().dump(),
+            reference_json,
+            "resumed report must be byte-identical to straight-through"
+        );
+        // Resuming a *complete* journal replays everything and runs
+        // nothing — still byte-identical.
+        let mut replay_only = Pipeline::new();
+        replay_only.set_fault_plan(plan);
+        let summary = replay_only
+            .run_campaign_supervised(tiny_config(), 2, &resume_cfg)
+            .unwrap();
+        assert_eq!(summary.units_run, 0);
+        assert_eq!(summary.units_replayed, summary.units_total);
+        assert_eq!(replay_only.finish().to_json().dump(), reference_json);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_refuses_foreign_journals() {
+        let path = temp_journal("mismatch");
+        let _ = std::fs::remove_file(&path);
+        let write_cfg = SupervisorConfig {
+            journal: Some(path.clone()),
+            ..SupervisorConfig::default()
+        };
+        let mut p = Pipeline::new();
+        p.run_campaign_supervised(tiny_config(), 1, &write_cfg).unwrap();
+        // Same journal, different campaign config → ConfigMismatch.
+        let resume_cfg = SupervisorConfig {
+            journal: Some(path.clone()),
+            resume: true,
+            ..SupervisorConfig::default()
+        };
+        let mut other = Pipeline::new();
+        let different = CampaignConfig {
+            automated_reps: 2,
+            ..tiny_config()
+        };
+        match other.run_campaign_supervised(different, 1, &resume_cfg) {
+            Err(JournalError::ConfigMismatch { .. }) => {}
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+        // Different retry budget is result-affecting too.
+        let retry_cfg = SupervisorConfig {
+            max_retries: 3,
+            ..resume_cfg.clone()
+        };
+        let mut third = Pipeline::new();
+        match third.run_campaign_supervised(tiny_config(), 1, &retry_cfg) {
+            Err(JournalError::ConfigMismatch { .. }) => {}
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rep_invariant_fault_keys_fault_identically_across_reps() {
+        // With rep-invariant keys armed, the key must not depend on rep;
+        // with them off, it must.
+        let campaign = Campaign::new(CampaignConfig {
+            automated_reps: 3,
+            ..tiny_config()
+        });
+        let db = GeoDb::new();
+        let mut exps = Vec::new();
+        campaign.run(&db, &mut |e| exps.push(e));
+        let mut reps_seen = HashMap::new();
+        for e in &exps {
+            reps_seen
+                .entry((e.device_name, e.site, e.vpn, e.label.clone()))
+                .or_insert_with(Vec::new)
+                .push((e.rep, experiment_fault_key(e), experiment_fault_key_rep_invariant(e)));
+        }
+        let mut multi_rep = 0;
+        for keys in reps_seen.values() {
+            if keys.len() < 2 {
+                continue;
+            }
+            multi_rep += 1;
+            let variant: std::collections::HashSet<u64> =
+                keys.iter().map(|(_, k, _)| *k).collect();
+            let invariant: std::collections::HashSet<u64> =
+                keys.iter().map(|(_, _, k)| *k).collect();
+            assert_eq!(variant.len(), keys.len(), "legacy keys are per-rep");
+            assert_eq!(invariant.len(), 1, "rep-invariant keys collapse reps");
+        }
+        assert!(multi_rep > 0, "corpus must contain repeated identities");
     }
 
     #[test]

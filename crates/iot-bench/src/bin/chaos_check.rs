@@ -22,6 +22,18 @@
 //!    (destination counts, PII findings, encryption mix) stay close to
 //!    the clean baseline; losing 0.1% of packets must not reshape the
 //!    paper's tables.
+//! 6. **Stall quarantine** — seeded stalls that breach the supervised
+//!    driver's watchdog deadline end as `stall_deadline` quarantines,
+//!    with the decision (a value comparison, never a clock race)
+//!    byte-identical across 1/2/8-worker drivers.
+//! 7. **Deterministic retry** — with a retry budget, transient
+//!    failures are re-attempted with seed-stable draws: retries rescue
+//!    experiments, the extended ledger reconciles, and the report is
+//!    byte-identical across drivers and across repeated runs.
+//! 8. **Kill and resume** — a journaled supervised run whose journal is
+//!    amputated mid-record resumes to a report byte-identical to the
+//!    straight-through run, at 2 and at 8 workers; resuming a complete
+//!    journal replays everything and runs nothing.
 //!
 //! Environment:
 //!
@@ -33,13 +45,14 @@
 //! Exits non-zero on any gate failure.
 
 use iot_analysis::pipeline::{Pipeline, PipelineReport, INJECTED_PANIC_MSG};
+use iot_analysis::SupervisorConfig;
 use iot_bench::{campaign_config, scale};
 use iot_chaos::FaultPlan;
 use iot_core::json::{Json, ToJson};
 use iot_testbed::schedule::CampaignConfig;
 use std::io::Write;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Worker counts the faulted report must be byte-identical across.
 const WORKER_GRID: [usize; 3] = [1, 2, 8];
@@ -125,6 +138,20 @@ fn run(config: CampaignConfig, plan: Option<FaultPlan>, workers: Option<usize>) 
         Some(w) => p.run_campaign_parallel(config, w),
     }
     p.finish()
+}
+
+fn run_supervised(
+    config: CampaignConfig,
+    plan: FaultPlan,
+    workers: usize,
+    sup: &SupervisorConfig,
+) -> Result<(PipelineReport, iot_analysis::SuperviseSummary), String> {
+    let mut p = Pipeline::with_obs(false);
+    p.set_fault_plan(plan);
+    let summary = p
+        .run_campaign_supervised(config, workers, sup)
+        .map_err(|e| format!("supervised run ({workers} workers): {e}"))?;
+    Ok((p.finish(), summary))
 }
 
 /// Gate 2: the report must serialize to JSON the in-tree parser accepts.
@@ -331,6 +358,194 @@ fn check(out_path: &str) -> Result<(), String> {
     panic_stage.set("panic_rate", PANIC_RATE.to_json());
     panic_stage.set("ingest", ingest.to_json());
     results.set("panic_stage", panic_stage);
+    let no_retry_quarantined = ingest.experiments_quarantined;
+
+    // Gate 6: stalls breaching the watchdog deadline are quarantined as
+    // `stall_deadline`, identically across drivers.
+    let t = Instant::now();
+    let stall_plan = FaultPlan {
+        stall_rate: 0.04,
+        stall_max_micros: 40_000,
+        ..FaultPlan::clean(seed)
+    };
+    let stall_sup = SupervisorConfig {
+        deadline: Some(Duration::from_millis(10)),
+        ..SupervisorConfig::default()
+    };
+    let (stall_base, _) = run_supervised(config, stall_plan, 1, &stall_sup)?;
+    let stall_json = check_valid_json("stall stage", &stall_base)?;
+    let ingest = &stall_base.ingest;
+    let stalled = ingest.stage_errors.get("stall_deadline").copied().unwrap_or(0);
+    if stalled == 0 {
+        return Err(format!(
+            "stall stage: 4% stalls up to 40ms against a 10ms deadline \
+             quarantined nothing: {ingest:?}"
+        ));
+    }
+    if !ingest.reconciles() {
+        return Err(format!("stall stage: ledger does not reconcile: {ingest:?}"));
+    }
+    if stall_base.experiments + ingest.experiments_quarantined != base.experiments {
+        return Err(format!(
+            "stall stage: {} analyzed + {} quarantined != {} generated",
+            stall_base.experiments, ingest.experiments_quarantined, base.experiments
+        ));
+    }
+    if !stall_base.coverage.is_degraded() {
+        return Err("stall stage: quarantines did not degrade the coverage manifest".to_string());
+    }
+    for workers in WORKER_GRID {
+        let (parallel, _) = run_supervised(config, stall_plan, workers, &stall_sup)?;
+        if parallel.to_json().dump() != stall_json {
+            return Err(format!(
+                "stall stage: {workers}-worker report diverged from serial"
+            ));
+        }
+    }
+    println!(
+        "chaos_check: stall stage: {stalled} of {} experiments quarantined at the deadline, \
+         drivers identical ({:.1}s)",
+        base.experiments,
+        t.elapsed().as_secs_f64()
+    );
+    let mut stall_stage = Json::obj();
+    stall_stage.set("stall_rate", 0.04f64.to_json());
+    stall_stage.set("ingest", ingest.to_json());
+    results.set("stall_stage", stall_stage);
+
+    // Gate 7: a retry budget rescues transient failures with seed-stable
+    // draws; the report stays byte-identical across drivers and runs.
+    let t = Instant::now();
+    let retry_sup = SupervisorConfig {
+        max_retries: 2,
+        ..SupervisorConfig::default()
+    };
+    let (retry_base, _) = run_supervised(config, panic_plan, 1, &retry_sup)?;
+    let retry_json = check_valid_json("retry stage", &retry_base)?;
+    let ingest = &retry_base.ingest;
+    if ingest.retry_attempts == 0 || ingest.experiments_retried == 0 {
+        return Err(format!(
+            "retry stage: retry budget 2 never fired against panic rate \
+             {PANIC_RATE}: {ingest:?}"
+        ));
+    }
+    if !ingest.reconciles() {
+        return Err(format!("retry stage: ledger does not reconcile: {ingest:?}"));
+    }
+    let permanent = ingest.experiments_quarantined + ingest.experiments_abandoned;
+    if permanent >= no_retry_quarantined {
+        return Err(format!(
+            "retry stage: {permanent} permanent losses with retries, \
+             {no_retry_quarantined} without — retries rescued nothing"
+        ));
+    }
+    for workers in WORKER_GRID {
+        let (parallel, _) = run_supervised(config, panic_plan, workers, &retry_sup)?;
+        if parallel.to_json().dump() != retry_json {
+            return Err(format!(
+                "retry stage: {workers}-worker report diverged from serial"
+            ));
+        }
+    }
+    let (rerun, _) = run_supervised(config, panic_plan, 1, &retry_sup)?;
+    if rerun.to_json().dump() != retry_json {
+        return Err("retry stage: repeated run diverged — retry draws are not seed-stable"
+            .to_string());
+    }
+    println!(
+        "chaos_check: retry stage: {} retried ({} attempts), {permanent} permanent \
+         (was {no_retry_quarantined} without retries), drivers and reruns identical ({:.1}s)",
+        ingest.experiments_retried,
+        ingest.retry_attempts,
+        t.elapsed().as_secs_f64()
+    );
+    let mut retry_stage = Json::obj();
+    retry_stage.set("max_retries", 2u64.to_json());
+    retry_stage.set("ingest", ingest.to_json());
+    results.set("retry_stage", retry_stage);
+
+    // Gate 8: kill-and-resume. Journal a supervised run, amputate the
+    // journal mid-record as a SIGKILL would, resume from the stump at
+    // two worker widths, and demand byte-identity with the
+    // straight-through report.
+    let t = Instant::now();
+    let (straight, _) = run_supervised(config, panic_plan, 2, &retry_sup)?;
+    let straight_json = check_valid_json("resume stage", &straight)?;
+    let stump_a = std::path::PathBuf::from(format!(
+        "target/chaos_resume_{}_a.jnl",
+        std::process::id()
+    ));
+    let stump_b = std::path::PathBuf::from(format!(
+        "target/chaos_resume_{}_b.jnl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&stump_a);
+    let journal_sup = SupervisorConfig {
+        journal: Some(stump_a.clone()),
+        ..retry_sup.clone()
+    };
+    run_supervised(config, panic_plan, 2, &journal_sup)?;
+    let bytes = std::fs::read(&stump_a).map_err(|e| format!("resume stage: {e}"))?;
+    if bytes.len() < 64 {
+        return Err(format!(
+            "resume stage: implausibly small journal ({} bytes)",
+            bytes.len()
+        ));
+    }
+    let stump = &bytes[..bytes.len() * 6 / 10];
+    std::fs::write(&stump_a, stump).map_err(|e| format!("resume stage: {e}"))?;
+    std::fs::write(&stump_b, stump).map_err(|e| format!("resume stage: {e}"))?;
+    let mut replayed = 0;
+    for (path, workers) in [(&stump_a, 2usize), (&stump_b, 8usize)] {
+        let resume_sup = SupervisorConfig {
+            journal: Some(path.clone()),
+            resume: true,
+            ..retry_sup.clone()
+        };
+        let (resumed, summary) = run_supervised(config, panic_plan, workers, &resume_sup)?;
+        if summary.units_replayed == 0 || summary.units_run == 0 {
+            return Err(format!(
+                "resume stage: truncation did not split the work \
+                 (replayed {}, ran {})",
+                summary.units_replayed, summary.units_run
+            ));
+        }
+        replayed = summary.units_replayed;
+        if resumed.to_json().dump() != straight_json {
+            return Err(format!(
+                "resume stage: {workers}-worker resumed report diverged from \
+                 straight-through"
+            ));
+        }
+    }
+    // Resuming a journal that is already complete replays everything.
+    let resume_sup = SupervisorConfig {
+        journal: Some(stump_a.clone()),
+        resume: true,
+        ..retry_sup.clone()
+    };
+    let (complete, summary) = run_supervised(config, panic_plan, 2, &resume_sup)?;
+    if summary.units_run != 0 || summary.units_replayed != summary.units_total {
+        return Err(format!(
+            "resume stage: complete journal re-ran work (replayed {}, ran {})",
+            summary.units_replayed, summary.units_run
+        ));
+    }
+    if complete.to_json().dump() != straight_json {
+        return Err("resume stage: replay-only report diverged from straight-through"
+            .to_string());
+    }
+    let _ = std::fs::remove_file(&stump_a);
+    let _ = std::fs::remove_file(&stump_b);
+    println!(
+        "chaos_check: resume stage: {replayed} units replayed from the amputated journal, \
+         2/8-worker resumes and replay-only all byte-identical ({:.1}s)",
+        t.elapsed().as_secs_f64()
+    );
+    let mut resume_stage = Json::obj();
+    resume_stage.set("units_replayed", (replayed as u64).to_json());
+    resume_stage.set("units_total", (summary.units_total as u64).to_json());
+    results.set("resume_stage", resume_stage);
 
     if let Some(dir) = std::path::Path::new(out_path).parent() {
         let _ = std::fs::create_dir_all(dir);

@@ -29,15 +29,42 @@
 //! never parses a request body, and closes every connection after one
 //! response. There is no TLS and no authentication — this is a
 //! lab-network diagnostic port, not a public API.
+//!
+//! Abusive clients are bounded on three axes: the request line may not
+//! exceed [`MAX_REQUEST_LINE_BYTES`] and the whole head may not exceed
+//! [`MAX_REQUEST_BYTES`] (both answered with `431 Request Header Fields
+//! Too Large`), and a connection that has not produced a full request
+//! line within [`HEAD_READ_DEADLINE`] — however slowly it drips bytes —
+//! is answered with `408 Request Timeout` and closed. One wedged or
+//! malicious scraper therefore costs the accept loop at most the
+//! deadline, never an unbounded buffer.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Largest request head we will read before answering 400.
-const MAX_REQUEST_BYTES: usize = 4096;
+/// Largest request line (method + path + version) we will accept.
+pub const MAX_REQUEST_LINE_BYTES: usize = 1024;
+
+/// Largest request head we will buffer before answering 431.
+pub const MAX_REQUEST_BYTES: usize = 4096;
+
+/// Wall-clock budget for reading one request head. Applied as a total
+/// deadline across reads, so a drip-feed client cannot hold a
+/// connection by sending one byte per read timeout.
+pub const HEAD_READ_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Why a request head could not be read.
+enum HeadError {
+    /// Request line or head exceeded its size cap → 431.
+    TooLarge,
+    /// The head did not arrive within [`HEAD_READ_DEADLINE`] → 408.
+    Timeout,
+    /// Connection closed early, I/O error, or non-UTF-8 line → 400.
+    Bad,
+}
 
 #[derive(Default)]
 struct Published {
@@ -110,29 +137,44 @@ pub fn maybe_start_from_env() -> Option<SocketAddr> {
     })
 }
 
-/// Reads the request head (first line is enough; we never read bodies).
-fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+/// Reads the request head (first line is enough; we never read bodies)
+/// under the size caps and the total wall-clock deadline.
+fn read_request_line(stream: &mut TcpStream) -> Result<String, HeadError> {
+    let deadline = Instant::now() + HEAD_READ_DEADLINE;
+    // Short per-read timeout so the loop re-checks the total deadline
+    // even against a client that drips one byte per read.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
+        if Instant::now() >= deadline {
+            return Err(HeadError::Timeout);
+        }
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(2).any(|w| w == b"\r\n") || buf.contains(&b'\n') {
+                if buf.contains(&b'\n') {
                     break;
                 }
-                if buf.len() > MAX_REQUEST_BYTES {
-                    return None;
+                // No newline yet: everything buffered is request line.
+                if buf.len() > MAX_REQUEST_LINE_BYTES || buf.len() > MAX_REQUEST_BYTES {
+                    return Err(HeadError::TooLarge);
                 }
             }
-            Err(_) => return None,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                continue; // deadline re-checked at loop top
+            }
+            Err(_) => return Err(HeadError::Bad),
         }
     }
-    let line_end = buf.iter().position(|&b| b == b'\n')?;
+    let line_end = buf.iter().position(|&b| b == b'\n').ok_or(HeadError::Bad)?;
+    if line_end > MAX_REQUEST_LINE_BYTES {
+        return Err(HeadError::TooLarge);
+    }
     String::from_utf8(buf[..line_end].to_vec())
-        .ok()
         .map(|l| l.trim_end_matches('\r').to_string())
+        .map_err(|_| HeadError::Bad)
 }
 
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
@@ -145,21 +187,55 @@ fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str)
 }
 
 fn handle(mut stream: TcpStream) -> std::io::Result<()> {
-    let Some(line) = read_request_line(&mut stream) else {
-        respond(&mut stream, "400 Bad Request", "text/plain", "bad request\n");
-        return Ok(());
+    let (status, content_type, body) = response_for(&mut stream);
+    respond(&mut stream, status, content_type, &body);
+    // Half-close and briefly drain whatever the client is still sending
+    // (likely on the 431 path, where we refused mid-head): closing a
+    // socket with unread receive-queue data sends RST, which can
+    // destroy the response before the client reads it. Bounded in both
+    // bytes and wall time so a hostile client cannot hold us here.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 512];
+    for _ in 0..64 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+    Ok(())
+}
+
+fn response_for(stream: &mut TcpStream) -> (&'static str, &'static str, String) {
+    let line = match read_request_line(stream) {
+        Ok(line) => line,
+        Err(HeadError::TooLarge) => {
+            return (
+                "431 Request Header Fields Too Large",
+                "text/plain",
+                "request head too large\n".to_string(),
+            );
+        }
+        Err(HeadError::Timeout) => {
+            return (
+                "408 Request Timeout",
+                "text/plain",
+                "request head not received in time\n".to_string(),
+            );
+        }
+        Err(HeadError::Bad) => {
+            return ("400 Bad Request", "text/plain", "bad request\n".to_string());
+        }
     };
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
     if method != "GET" {
-        respond(
-            &mut stream,
+        return (
             "405 Method Not Allowed",
             "text/plain",
-            "GET only\n",
+            "GET only\n".to_string(),
         );
-        return Ok(());
     }
     // Ignore any query string; the routes take no parameters.
     let path = path.split('?').next().unwrap_or(path);
@@ -169,12 +245,7 @@ fn handle(mut stream: TcpStream) -> std::io::Result<()> {
                 let p = published().lock().unwrap_or_else(|e| e.into_inner());
                 p.metrics.clone()
             };
-            respond(
-                &mut stream,
-                "200 OK",
-                "text/plain; version=0.0.4",
-                &body,
-            );
+            ("200 OK", "text/plain; version=0.0.4", body)
         }
         "/trace" => {
             let body = {
@@ -185,7 +256,7 @@ fn handle(mut stream: TcpStream) -> std::io::Result<()> {
                     p.trace.clone()
                 }
             };
-            respond(&mut stream, "200 OK", "application/json", &body);
+            ("200 OK", "application/json", body)
         }
         "/progress" => {
             let progress = {
@@ -202,18 +273,14 @@ fn handle(mut stream: TcpStream) -> std::io::Result<()> {
                 "{{\"progress\":{progress},\"process\":{}}}\n",
                 crate::process::snapshot_json().dump()
             );
-            respond(&mut stream, "200 OK", "application/json", &body);
+            ("200 OK", "application/json", body)
         }
-        _ => {
-            respond(
-                &mut stream,
-                "404 Not Found",
-                "text/plain",
-                "routes: /metrics /trace /progress\n",
-            );
-        }
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            "routes: /metrics /trace /progress\n".to_string(),
+        ),
     }
-    Ok(())
 }
 
 #[cfg(test)]

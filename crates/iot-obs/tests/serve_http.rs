@@ -124,6 +124,42 @@ fn endpoint_serves_published_documents() {
     };
     assert!(status.contains("400"), "{status}");
 
+    // Abuse paths. An oversized request line is refused with 431 and
+    // the connection closed, whether the overflow arrives in one write…
+    let long_path = "a".repeat(2 * iot_obs::serve::MAX_REQUEST_LINE_BYTES);
+    let (status, _, _) = request(addr, &format!("GET /{long_path} HTTP/1.1"));
+    assert!(status.contains("431"), "{status}");
+    // …or with no newline at all (nothing to parse, cap still enforced).
+    let status = {
+        let mut stream =
+            TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let blob = vec![b'x'; iot_obs::serve::MAX_REQUEST_BYTES + 64];
+        stream.write_all(&blob).expect("write oversized head");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response.lines().next().unwrap_or_default().to_string()
+    };
+    assert!(status.contains("431"), "{status}");
+
+    // A drip-feed client that never completes the request line is cut
+    // off with 408 once the head-read deadline lapses, bounding how
+    // long one connection can occupy the server.
+    let status = {
+        let mut stream =
+            TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+        stream
+            .set_read_timeout(Some(iot_obs::serve::HEAD_READ_DEADLINE + Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(b"GET /met").expect("write partial line");
+        // Hold the connection open without finishing the line; the
+        // server must answer on its own initiative.
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response.lines().next().unwrap_or_default().to_string()
+    };
+    assert!(status.contains("408"), "{status}");
+
     // Before any publication after a reset, /trace and /progress fall
     // back to well-formed empty documents instead of empty bodies.
     iot_obs::serve::publish(String::new(), String::new(), String::new());

@@ -173,8 +173,11 @@ pub fn run_oracle(config: CampaignConfig) -> OracleOutcome {
     invariant.extend(invariants::check_consistency(&pipeline, &report));
     invariant.extend(detection_and_study_laws());
 
-    // Pillar 3: every other driver against the same serial baseline.
-    let differential = differential::check_drivers_against(&report, config);
+    // Pillar 3: every other driver against the same serial baseline,
+    // the faulted sweep, and the interrupted-resumed supervised twin.
+    let mut differential = differential::check_drivers_against(&report, config);
+    differential.extend(differential::check_drivers_faulted(config));
+    differential.extend(differential::check_resume(config));
 
     // Pillar 2: metamorphic relations on the bounded configuration.
     let metamorphic = metamorphic::check_all(

@@ -29,8 +29,10 @@ const PCT_EPS: f64 = 1e-6;
 pub fn check_report(report: &PipelineReport) -> Vec<Violation> {
     let mut v = Vec::new();
 
-    // Ingest ledger conservation: every generated or duplicated packet
-    // is ingested, dropped, lost, or quarantined — exactly once.
+    // Ingest ledger conservation: every packet offered to ingestion —
+    // generated, duplicated by faults, or re-offered by a retry — is
+    // ingested, dropped, lost, quarantined, or rolled back for retry,
+    // exactly once.
     let ingest = &report.ingest;
     if !ingest.reconciles() {
         v.push(Violation::new(
@@ -39,13 +41,16 @@ pub fn check_report(report: &PipelineReport) -> Vec<Violation> {
             "totals",
             "packets",
             format!(
-                "generated {} + duplicated {} != ingested {} + dropped {} + lost {} + quarantined {}",
+                "generated {} + duplicated {} + reoffered {} != ingested {} + dropped {} \
+                 + lost {} + quarantined {} + retried {}",
                 ingest.packets_generated,
                 ingest.packets_duplicated,
+                ingest.packets_reoffered,
                 ingest.packets_ingested,
                 ingest.packets_dropped,
                 ingest.packets_lost,
-                ingest.packets_quarantined
+                ingest.packets_quarantined,
+                ingest.packets_retried
             ),
         ));
     }

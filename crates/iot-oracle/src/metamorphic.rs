@@ -14,10 +14,14 @@
 //! * [`check_vpn_isolation`] — adding the VPN dimension adds VPN rows
 //!   but leaves every native-egress field untouched.
 //!
-//! All relations run without a fault plan: fault keys include the rep
-//! index and the full experiment set, so faults are *expected* to break
-//! rep-relabel equivalence — the differential pillar covers the faulted
-//! paths instead.
+//! Most relations run without a fault plan: legacy fault keys include
+//! the rep index, so arbitrary faults are *expected* to break
+//! rep-relabel equivalence. [`check_rep_relabel_faulted`] closes that
+//! gap for plans that opt into rep-invariant fault keys
+//! (`rep_invariant_fault_keys`): under such a plan the fault draw
+//! survives relabeling, so the relation must hold even on a degraded
+//! corpus — the same plan the differential pillar sweeps across
+//! drivers.
 
 use crate::diff::diff_json;
 use crate::Violation;
@@ -89,6 +93,54 @@ pub fn check_rep_relabel(
         .collect();
     let report = replay(relabeled);
     diff_violations("rep_relabel", baseline, &report)
+}
+
+/// The faulted twin of [`check_rep_relabel`]: with a plan whose fault
+/// keys are rep-invariant, relabeling every repetition *after*
+/// generation must leave even a degraded report byte-identical — the
+/// same experiments draw the same drops, truncations, and losses.
+/// Guards its own vacuity: a plan that never bites is a finding.
+///
+/// # Panics
+/// Panics if `plan` does not set `rep_invariant_fault_keys` (the
+/// relation is simply false for legacy keys, so calling it that way is
+/// a harness bug, not a pipeline defect).
+pub fn check_rep_relabel_faulted(
+    experiments: &[LabeledExperiment],
+    plan: iot_chaos::FaultPlan,
+) -> Vec<Violation> {
+    assert!(
+        plan.rep_invariant_fault_keys,
+        "check_rep_relabel_faulted needs rep-invariant fault keys"
+    );
+    let replay_faulted = |experiments: Vec<LabeledExperiment>| {
+        let mut p = Pipeline::with_obs(false);
+        p.set_fault_plan(plan);
+        p.ingest_experiments(experiments);
+        p.finish()
+    };
+    let baseline = replay_faulted(experiments.to_vec());
+    let mut v = Vec::new();
+    if baseline.ingest.is_clean() {
+        v.push(Violation::new(
+            "rep_relabel_faulted",
+            "ingest",
+            "totals",
+            "is_clean",
+            "faulted plan produced a clean ledger — the relation checked nothing".to_string(),
+        ));
+    }
+    let relabeled: Vec<LabeledExperiment> = experiments
+        .iter()
+        .map(|exp| {
+            let mut exp = exp.clone();
+            exp.rep += 1000;
+            exp
+        })
+        .collect();
+    let report = replay_faulted(relabeled);
+    v.extend(diff_violations("rep_relabel_faulted", &baseline, &report));
+    v
 }
 
 /// Disabling one device removes exactly that device's rows: its PII
@@ -315,6 +367,10 @@ pub fn check_all(config: CampaignConfig, device: &str, seed: u64) -> Vec<Violati
     let mut v = Vec::new();
     v.extend(check_order_permutation(&baseline, &experiments, seed));
     v.extend(check_rep_relabel(&baseline, &experiments));
+    v.extend(check_rep_relabel_faulted(
+        &experiments,
+        crate::differential::faulted_plan(),
+    ));
     v.extend(check_device_removal(&baseline, &experiments, device));
     v.extend(check_vpn_isolation(config));
     v

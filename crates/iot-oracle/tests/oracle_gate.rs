@@ -189,3 +189,15 @@ fn differential_drivers_agree() {
     let (_, v) = differential::check_drivers(tiny_config());
     assert!(v.is_empty(), "{v:?}");
 }
+
+#[test]
+fn faulted_differential_drivers_agree() {
+    let v = differential::check_drivers_faulted(tiny_config());
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn resumed_run_matches_straight_through() {
+    let v = differential::check_resume(tiny_config());
+    assert!(v.is_empty(), "{v:?}");
+}

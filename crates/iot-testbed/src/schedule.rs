@@ -192,6 +192,21 @@ impl Campaign {
         }
     }
 
+    /// Streams every experiment — controlled *and* idle — of exactly one
+    /// work unit (unit `unit` of [`Campaign::unit_count`], in the
+    /// flattened (lab × device) grid order). This is the granularity the
+    /// supervised driver checkpoints at: the union over all units equals
+    /// the full campaign, and each unit's experiment stream is
+    /// self-contained and deterministic.
+    ///
+    /// # Panics
+    /// Panics if `unit >= unit_count()`.
+    pub fn run_unit<F: FnMut(LabeledExperiment)>(&self, db: &GeoDb, unit: usize, consume: F) {
+        let units = self.unit_count();
+        assert!(unit < units, "unit {unit} out of {units}");
+        self.run_shard(db, unit, units, consume);
+    }
+
     /// Streams experiments for a single device (all its interactions at
     /// native egress), used to train per-device classifiers.
     pub fn run_device<F: FnMut(LabeledExperiment)>(

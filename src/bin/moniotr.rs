@@ -8,10 +8,17 @@
 //! moniotr analyze <device-dir>                 destinations / encryption / PII per label
 //! moniotr idle <device> <hours>                idle capture + traffic-unit summary
 //! moniotr campaign [quick|medium|full] [workers N] [--serve ADDR] [--trace-out PATH]
-//!                                              full instrumented campaign + telemetry
+//!                  [--journal PATH | --resume PATH] [--deadline-ms N]
+//!                  [--max-retries N] [--report-out PATH]
+//!                                              full instrumented campaign + telemetry;
+//!                                              supervision flags arm the checkpoint
+//!                                              journal, watchdog, and retry loop
 //! moniotr oracle [quick|medium|full]           correctness oracle: invariants,
 //!                                              metamorphic relations, differential runs
 //! ```
+//!
+//! Unknown subcommands or flags print the usage text and exit with
+//! status 2; runtime failures exit with status 1.
 
 use intl_iot::analysis::encryption::{classify_flow, ClassBytes};
 use intl_iot::analysis::flows::ExperimentFlows;
@@ -28,6 +35,13 @@ use intl_iot::testbed::{catalog, device::Availability};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: moniotr devices\n       moniotr capture <device> [uk] [vpn] [out-dir]\n       \
+     moniotr analyze <device-dir>\n       moniotr idle <device> <hours>\n       \
+     moniotr campaign [quick|medium|full] [workers N] [--serve ADDR] [--trace-out PATH]\n                \
+     [--journal PATH | --resume PATH] [--deadline-ms N] [--max-retries N]\n                \
+     [--report-out PATH]\n       \
+     moniotr oracle [quick|medium|full]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -38,17 +52,16 @@ fn main() -> ExitCode {
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("oracle") => cmd_oracle(&args[1..]),
         _ => {
-            eprintln!(
-                "usage: moniotr devices\n       moniotr capture <device> [uk] [vpn] [out-dir]\n       \
-                 moniotr analyze <device-dir>\n       moniotr idle <device> <hours>\n       \
-                 moniotr campaign [quick|medium|full] [workers N] [--serve ADDR] [--trace-out PATH]\n       \
-                 moniotr oracle [quick|medium|full]"
-            );
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.is::<UsageError>() => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::from(2)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -57,6 +70,25 @@ fn main() -> ExitCode {
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// A command-line parse problem (unknown flag, missing or malformed
+/// value). Distinguished from runtime failures so `main` can exit with
+/// status 2 and print the usage text, matching what an unknown
+/// subcommand does.
+#[derive(Debug)]
+struct UsageError(String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+fn usage_err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
+    Box::new(UsageError(msg.into()))
+}
 
 fn cmd_devices() -> CliResult {
     for spec in catalog::all() {
@@ -241,6 +273,11 @@ fn cmd_campaign(args: &[String]) -> CliResult {
         .unwrap_or(1);
     let mut serve_addr: Option<String> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_retries: u32 = 0;
+    let mut report_out: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -252,23 +289,60 @@ fn cmd_campaign(args: &[String]) -> CliResult {
                     .next()
                     .and_then(|n| n.parse().ok())
                     .filter(|&n| n > 0)
-                    .ok_or("campaign: workers requires a positive count")?;
+                    .ok_or_else(|| usage_err("campaign: workers requires a positive count"))?;
             }
             "--serve" => {
                 serve_addr = Some(
-                    it.next()
-                        .cloned()
-                        .ok_or("campaign: --serve requires an address, e.g. 127.0.0.1:9100")?,
+                    it.next().cloned().ok_or_else(|| {
+                        usage_err("campaign: --serve requires an address, e.g. 127.0.0.1:9100")
+                    })?,
                 );
             }
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(
                     it.next()
-                        .ok_or("campaign: --trace-out requires a path")?,
+                        .ok_or_else(|| usage_err("campaign: --trace-out requires a path"))?,
                 ));
             }
-            other => return Err(format!("campaign: unknown argument {other:?}").into()),
+            "--journal" => {
+                journal = Some(PathBuf::from(it.next().ok_or_else(|| {
+                    usage_err("campaign: --journal requires a path to write checkpoints to")
+                })?));
+            }
+            "--resume" => {
+                resume = Some(PathBuf::from(it.next().ok_or_else(|| {
+                    usage_err("campaign: --resume requires the journal path of the interrupted run")
+                })?));
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    it.next()
+                        .and_then(|n| n.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            usage_err("campaign: --deadline-ms requires a positive millisecond count")
+                        })?,
+                );
+            }
+            "--max-retries" => {
+                max_retries = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| usage_err("campaign: --max-retries requires a count"))?;
+            }
+            "--report-out" => {
+                report_out = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| usage_err("campaign: --report-out requires a path"))?,
+                ));
+            }
+            other => return Err(usage_err(format!("campaign: unknown argument {other:?}"))),
         }
+    }
+    if journal.is_some() && resume.is_some() {
+        return Err(usage_err(
+            "campaign: pass --journal to start a fresh journal or --resume to continue one, not both",
+        ));
     }
 
     // An explicit --serve starts the endpoint before the run so every
@@ -288,9 +362,57 @@ fn cmd_campaign(args: &[String]) -> CliResult {
         "campaign: scale={} workers={workers} (obs on)",
         scale.name()
     );
+    let supervised =
+        journal.is_some() || resume.is_some() || deadline_ms.is_some() || max_retries > 0;
     let mut p = Pipeline::with_obs(true);
-    p.run_campaign_parallel(config, workers);
+    let summary = if supervised {
+        use intl_iot::analysis::SupervisorConfig;
+        let mut sup = SupervisorConfig::default();
+        if let Some(path) = resume {
+            sup.journal = Some(path);
+            sup.resume = true;
+        } else {
+            sup.journal = journal;
+        }
+        sup.deadline = deadline_ms.map(std::time::Duration::from_millis);
+        sup.max_retries = max_retries;
+        // Test hook: slow the unit loop down so an external killer can
+        // reliably interrupt a quick campaign mid-journal.
+        if let Some(ms) = std::env::var("IOT_SUPERVISE_THROTTLE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            sup.unit_throttle = std::time::Duration::from_millis(ms);
+        }
+        Some(p.run_campaign_supervised(config, workers, &sup)?)
+    } else {
+        p.run_campaign_parallel(config, workers);
+        None
+    };
     let (report, reg) = p.finish_with_obs();
+
+    if let Some(s) = &summary {
+        let salvage = s
+            .salvage
+            .as_ref()
+            .map(|sv| {
+                format!(
+                    " (journal salvage: {} records kept, {} bytes dropped, {} corrupt, {} duplicates)",
+                    sv.records, sv.dropped_bytes, sv.corrupt_dropped, sv.duplicate_units
+                )
+            })
+            .unwrap_or_default();
+        println!(
+            "campaign: supervision — {} of {} units replayed from journal, {} run live{salvage}",
+            s.units_replayed, s.units_total, s.units_run
+        );
+        if s.watchdog_cancelled > 0 {
+            println!(
+                "campaign: watchdog cancelled {} stalled experiment(s)",
+                s.watchdog_cancelled
+            );
+        }
+    }
 
     let obs_report = RunReport::from_registry("campaign", &reg)
         .meta("scale", scale.name())
@@ -306,6 +428,19 @@ fn cmd_campaign(args: &[String]) -> CliResult {
         ingest.packets_ingested,
         if ingest.reconciles() { "reconciles" } else { "DOES NOT RECONCILE" }
     );
+    let cov = report.coverage.totals();
+    println!(
+        "campaign: coverage {} completed / {} retried / {} quarantined / {} abandoned{}",
+        cov.completed,
+        cov.retried,
+        cov.quarantined,
+        cov.abandoned,
+        if report.coverage.is_degraded() {
+            " — DEGRADED"
+        } else {
+            ""
+        }
+    );
     let (d, total) = report.devices_with_non_first;
     println!("campaign: {d}/{total} devices contacted non-first parties");
     // Heap footprint, when IOT_OBS_ALLOC turned the instrumented
@@ -320,6 +455,17 @@ fn cmd_campaign(args: &[String]) -> CliResult {
             totals.allocs,
             intl_iot::obs::alloc::process_high_water_bytes() as f64 / 1e6,
             intl_iot::obs::process::peak_rss_bytes().unwrap_or(0) as f64 / 1e6
+        );
+    }
+
+    if let Some(path) = report_out {
+        use iot_core::json::ToJson;
+        let json = report.to_json().dump();
+        std::fs::write(&path, &json)?;
+        println!(
+            "campaign: wrote report JSON to {} ({} bytes)",
+            path.display(),
+            json.len()
         );
     }
 
@@ -351,7 +497,7 @@ fn cmd_oracle(args: &[String]) -> CliResult {
             "quick" => scale = Scale::Quick,
             "medium" => scale = Scale::Medium,
             "full" => scale = Scale::Full,
-            other => return Err(format!("oracle: unknown argument {other:?}").into()),
+            other => return Err(usage_err(format!("oracle: unknown argument {other:?}"))),
         }
     }
     println!("oracle: scale={} (serial + differential + metamorphic runs)", scale.name());

@@ -24,7 +24,12 @@
 #    escaped panics, byte-identical faulted reports across worker
 #    counts, exact ingest-ledger reconciliation, and bounded headline
 #    drift at low fault rates.
-# 7. oracle_check: the correctness oracle — conservation-law invariants
+# 7. supervise smoke: a quick campaign is journaled and SIGKILLed
+#    mid-run, then resumed from the (possibly torn) journal; the
+#    resumed report must be byte-identical to an uninterrupted
+#    reference run. This drives the checkpoint/resume path through the
+#    real binary and a real kill, not just in-process truncation.
+# 8. oracle_check: the correctness oracle — conservation-law invariants
 #    over the finished report (ledger reconciliation, percentage sums,
 #    catalog-backed PII findings, recounts from live accumulators),
 #    metamorphic relations (order permutation, rep relabeling, device
@@ -106,6 +111,30 @@ echo "=== chaos smoke: fault-injection sweep + quarantine gates ==="
 IOT_SCALE=quick \
   IOT_CHAOS_OUT="${IOT_CHAOS_OUT:-target/chaos_check.json}" \
   ./target/release/chaos_check
+
+echo "=== supervise smoke: journaled campaign, SIGKILL mid-run, resume ==="
+# Uninterrupted reference (the plain parallel driver: supervised runs
+# must be byte-identical to it, interrupted or not).
+./target/release/moniotr campaign quick workers 2 \
+  --report-out target/supervise_ref.json >/dev/null
+# Journaled run, slowed enough that the kill reliably lands mid-run.
+rm -f target/supervise.jnl target/supervise_resumed.json
+IOT_SUPERVISE_THROTTLE_MS=25 ./target/release/moniotr campaign quick workers 2 \
+  --journal target/supervise.jnl >/dev/null 2>&1 &
+SUPERVISE_PID=$!
+sleep 1
+kill -9 "$SUPERVISE_PID" 2>/dev/null || true
+wait "$SUPERVISE_PID" 2>/dev/null || true
+# Resume from whatever the kill left behind (a torn trailing record is
+# expected and salvaged) and demand byte-identity with the reference.
+./target/release/moniotr campaign quick workers 2 \
+  --resume target/supervise.jnl --report-out target/supervise_resumed.json \
+  | grep "supervision" || true
+cmp target/supervise_ref.json target/supervise_resumed.json || {
+  echo "verify.sh: FAIL — resumed report differs from the uninterrupted reference" >&2
+  exit 1
+}
+echo "supervise smoke: resumed report byte-identical to the reference"
 
 echo "=== oracle: invariants + metamorphic relations + differential runs ==="
 IOT_SCALE=quick \
